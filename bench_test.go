@@ -1,0 +1,380 @@
+// Package blobseer_test hosts the benchmark harness: one benchmark per
+// paper table/figure (EXP-A … DD-3; see DESIGN.md §4) plus
+// micro-benchmarks of the load-bearing substrates. Experiment benchmarks
+// run reduced-scale deployments per iteration and report the headline
+// quantity via b.ReportMetric; cmd/blobseer-bench regenerates the full
+// tables.
+package blobseer_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"blobseer/internal/blobmeta"
+	"blobseer/internal/chunk"
+	"blobseer/internal/cloudsim"
+	"blobseer/internal/core"
+	"blobseer/internal/experiments"
+	"blobseer/internal/history"
+	"blobseer/internal/introspect"
+	"blobseer/internal/monitor"
+	"blobseer/internal/policy"
+	"blobseer/internal/viz"
+)
+
+// ---- experiment benchmarks (one per table/figure) ----
+
+// BenchmarkExpA_Visualization renders the EXP-A dashboard over a live
+// introspected cluster.
+func BenchmarkExpA_Visualization(b *testing.B) {
+	cluster, err := core.NewCluster(core.Options{Providers: 8, Monitoring: true, AgentBatch: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := cluster.Client("alice")
+	info, _ := cl.Create(4 << 10)
+	if _, err := cl.Write(info.ID, 0, bytes.Repeat([]byte("v"), 64<<10)); err != nil {
+		b.Fatal(err)
+	}
+	cluster.Tick(time.Now())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := viz.Dashboard(cluster.Intro, cluster.VM, 24)
+		if len(out) == 0 {
+			b.Fatal("empty dashboard")
+		}
+	}
+}
+
+// BenchmarkExpB_IntrospectionOverhead runs the monitoring-on
+// configuration of EXP-B (20 clients × 1 GB on 150 providers) and
+// reports aggregate throughput and parameter count.
+func BenchmarkExpB_IntrospectionOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := cloudsim.NewDeployment(cloudsim.Config{Providers: 150, Monitoring: true, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var done int64
+		var last time.Duration
+		cs := make([]*cloudsim.Client, 20)
+		for j := range cs {
+			cs[j] = d.AddClient(fmt.Sprintf("c%02d", j), cloudsim.Profile{
+				Stripe: 4, OpBytes: 256 << 20, TotalBytes: 1 << 30, NIC: 125 * cloudsim.MB,
+			})
+		}
+		d.Run(5 * time.Minute)
+		for _, c := range cs {
+			done += c.BytesDone()
+			if c.FinishedAt() > last {
+				last = c.FinishedAt()
+			}
+		}
+		b.ReportMetric(float64(done)/cloudsim.MB/last.Seconds(), "agg_MB/s")
+		b.ReportMetric(float64(d.Mesh.ParamCount()), "mon_params")
+	}
+}
+
+// BenchmarkExpC1_DoSTimeline runs the EXP-C1 attack/recovery timeline
+// and reports the dip and recovery levels.
+func BenchmarkExpC1_DoSTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := cloudsim.NewDeployment(cloudsim.Config{Providers: 48, Security: true, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 20; j++ {
+			d.AddClient(fmt.Sprintf("good%02d", j), cloudsim.Profile{
+				Stripe: 4, OpBytes: 256 << 20, NIC: 125 * cloudsim.MB,
+			})
+		}
+		for j := 0; j < 10; j++ {
+			d.AddClient(fmt.Sprintf("evil%02d", j), cloudsim.Profile{
+				Malicious: true, Stripe: 64, OpBytes: 64 << 20,
+				StartAt: 60*time.Second + time.Duration(j)*time.Second,
+			})
+		}
+		d.Run(4 * time.Minute)
+		base := d.AggregateThroughputMBs(10*time.Second, 55*time.Second)
+		rec := d.AggregateThroughputMBs(3*time.Minute, 4*time.Minute)
+		b.ReportMetric(base, "baseline_MB/s")
+		b.ReportMetric(rec, "recovered_MB/s")
+		b.ReportMetric(float64(len(d.DetectionDelays())), "attackers_detected")
+	}
+}
+
+// BenchmarkExpC2_ThroughputVsClients runs the 20-client, 50 %-malicious
+// point of EXP-C2 in the unprotected and protected configurations.
+func BenchmarkExpC2_ThroughputVsClients(b *testing.B) {
+	run := func(security bool) float64 {
+		d, err := cloudsim.NewDeployment(cloudsim.Config{Providers: 48, Security: security, Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 10; j++ {
+			d.AddClient(fmt.Sprintf("good%02d", j), cloudsim.Profile{
+				Stripe: 4, OpBytes: 256 << 20, NIC: 125 * cloudsim.MB,
+			})
+		}
+		for j := 0; j < 10; j++ {
+			d.AddClient(fmt.Sprintf("evil%02d", j), cloudsim.Profile{
+				Malicious: true, Stripe: 32, OpBytes: 64 << 20,
+				StartAt: time.Duration(j) * time.Second,
+			})
+		}
+		d.Run(3 * time.Minute)
+		return d.CorrectThroughputMBs(90*time.Second, 3*time.Minute)
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(run(false), "nosec_MB/s")
+		b.ReportMetric(run(true), "sec_MB/s")
+	}
+}
+
+// BenchmarkExpC3_DetectionDelay runs the 50 %-malicious point of EXP-C3
+// and reports first/last detection delays.
+func BenchmarkExpC3_DetectionDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := cloudsim.NewDeployment(cloudsim.Config{Providers: 48, Security: true, Seed: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 25; j++ {
+			d.AddClient(fmt.Sprintf("good%02d", j), cloudsim.Profile{
+				Stripe: 4, OpBytes: 1 << 30, NIC: 125 * cloudsim.MB,
+			})
+		}
+		for j := 0; j < 25; j++ {
+			d.AddClient(fmt.Sprintf("evil%02d", j), cloudsim.Profile{
+				Malicious: true, Stripe: 32, OpBytes: 64 << 20,
+				StartAt: time.Duration(j) * 800 * time.Millisecond,
+			})
+		}
+		d.Run(4 * time.Minute)
+		delays := d.DetectionDelays()
+		if len(delays) > 0 {
+			b.ReportMetric(delays[0].Seconds(), "first_detect_s")
+			b.ReportMetric(delays[len(delays)-1].Seconds(), "last_detect_s")
+		}
+	}
+}
+
+// BenchmarkExpD_S3Gateway measures real PUT+GET round trips through the
+// S3 gateway (the EXP-D path) at 1 MiB object size.
+func BenchmarkExpD_S3Gateway(b *testing.B) {
+	t := experiments.ExpD(experiments.Scale{Quick: true})
+	if len(t.Rows) == 0 {
+		b.Fatal("no rows")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One quick gateway sweep per iteration keeps this a real
+		// end-to-end HTTP measurement.
+		t = experiments.ExpD(experiments.Scale{Quick: true})
+	}
+	b.StopTimer()
+	_ = t
+}
+
+// BenchmarkDD1_Elasticity runs the elastic load swing and reports
+// elasticity actions.
+func BenchmarkDD1_Elasticity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.DD1(experiments.Scale{Quick: true})
+		if len(t.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkDD2_Replication runs the repair-after-failure experiment.
+func BenchmarkDD2_Replication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.DD2(experiments.Scale{Quick: true})
+		if len(t.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkDD3_Trust runs the trust-adaptive policy experiment.
+func BenchmarkDD3_Trust(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.DD3(experiments.Scale{Quick: true})
+		if len(t.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAB1_AllocationStrategies runs the placement-balance ablation.
+func BenchmarkAB1_AllocationStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := experiments.AB1(experiments.Scale{Quick: true}); len(t.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAB2_BurstCache runs the burst-cache loss ablation.
+func BenchmarkAB2_BurstCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := experiments.AB2(experiments.Scale{Quick: true}); len(t.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAB3_MetadataSharing runs the structural-sharing ablation.
+func BenchmarkAB3_MetadataSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := experiments.AB3(experiments.Scale{Quick: true}); len(t.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// ---- micro-benchmarks of the substrates ----
+
+func BenchmarkChunkSum64K(b *testing.B) {
+	data := bytes.Repeat([]byte("x"), 64<<10)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		chunk.Sum(data)
+	}
+}
+
+func BenchmarkMetadataTreeWrite(b *testing.B) {
+	store := blobmeta.NewMemStore("m", nil, nil)
+	tree, err := blobmeta.NewTree(store, 1, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := chunk.Desc{ID: chunk.Sum([]byte("x")), Size: 1, Providers: []string{"p"}}
+	for i := 0; i < b.N; i++ {
+		if err := tree.Write(uint64(i+1), uint64(i), map[int64]chunk.Desc{int64(i % 1024): d}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetadataTreeRead(b *testing.B) {
+	store := blobmeta.NewMemStore("m", nil, nil)
+	tree, _ := blobmeta.NewTree(store, 1, 1<<20)
+	writes := map[int64]chunk.Desc{}
+	for i := int64(0); i < 256; i++ {
+		writes[i] = chunk.Desc{ID: chunk.Sum([]byte{byte(i)}), Size: 1, Providers: []string{"p"}}
+	}
+	if err := tree.Write(1, 0, writes); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Read(1, 0, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicyEval(b *testing.B) {
+	h := history.New()
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 1000; i++ {
+		h.Append(history.Event{
+			Time: t0.Add(time.Duration(i) * 10 * time.Millisecond),
+			User: "u", Op: "write", Bytes: 1 << 20, OK: true,
+		})
+	}
+	ps := policy.MustParse(policy.DefaultCatalog)
+	env := policy.HistoryEnv{H: h, Now: t0.Add(10 * time.Second)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			p.Eval(env, "u")
+		}
+	}
+}
+
+func BenchmarkPolicyParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := policy.Parse(policy.DefaultCatalog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistoryAppendScan(b *testing.B) {
+	h := history.New(history.WithMaxPerUser(4096))
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ti := t0.Add(time.Duration(i) * time.Millisecond)
+		h.Append(history.Event{Time: ti, User: "u", Op: "write", Bytes: 1, OK: true})
+		if i%64 == 0 {
+			h.Rate("u", "write", ti, 10*time.Second)
+		}
+	}
+}
+
+func BenchmarkClientWriteRealPlane(b *testing.B) {
+	cluster, err := core.NewCluster(core.Options{Providers: 4, Monitoring: false})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := cluster.Client("bench")
+	info, _ := cl.Create(64 << 10)
+	payload := bytes.Repeat([]byte("w"), 256<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Write(info.ID, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonitorIngest(b *testing.B) {
+	svc := monitor.NewService("svc", 0)
+	batch := make([]monitor.Record, 64)
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := range batch {
+		batch[i] = monitor.Record{Time: t0, Node: "p1", Param: fmt.Sprintf("k%d", i%8), Value: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc.StoreRecords(batch)
+	}
+}
+
+func BenchmarkBurstCache(b *testing.B) {
+	c := introspect.NewBurstCache(1 << 16)
+	recs := make([]monitor.Record, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(recs)
+		if i%256 == 0 {
+			c.Drain()
+		}
+	}
+}
+
+func BenchmarkMaxMinReshape(b *testing.B) {
+	// 200 flows over 48 providers + 50 client NICs: the EXP-C2 shape.
+	for i := 0; i < b.N; i++ {
+		sim := cloudsim.NewSim()
+		net := cloudsim.NewNet(sim)
+		provs := make([]*cloudsim.Resource, 48)
+		for j := range provs {
+			provs[j] = cloudsim.NewResource(fmt.Sprintf("p%d", j), 125*cloudsim.MB)
+		}
+		for c := 0; c < 50; c++ {
+			nic := cloudsim.NewResource(fmt.Sprintf("n%d", c), 125*cloudsim.MB)
+			for f := 0; f < 4; f++ {
+				net.Start("u", 64*cloudsim.MB, []*cloudsim.Resource{provs[(c*4+f)%48], nic}, nil)
+			}
+		}
+		sim.Run(time.Minute)
+	}
+}

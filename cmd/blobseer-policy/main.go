@@ -1,0 +1,53 @@
+// Command blobseer-policy validates and pretty-prints security policy
+// files written in the framework's policy description language — the
+// administrator-facing tool of the Policy Definition component.
+//
+// Usage:
+//
+//	blobseer-policy file.pol       # validate + pretty-print
+//	blobseer-policy -catalog       # show the built-in catalog
+//	echo 'policy p { ... }' | blobseer-policy -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"blobseer/internal/policy"
+)
+
+func main() {
+	catalog := flag.Bool("catalog", false, "print the built-in policy catalog")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	switch {
+	case *catalog:
+		src = []byte(policy.DefaultCatalog)
+	case flag.NArg() == 1 && flag.Arg(0) == "-":
+		src, err = io.ReadAll(os.Stdin)
+	case flag.NArg() == 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: blobseer-policy [-catalog] <file.pol|->")
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps, err := policy.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%d policies OK: %v\n", len(ps), policy.Names(ps))
+	for i, p := range ps {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Println(p.String())
+	}
+}

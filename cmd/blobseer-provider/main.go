@@ -1,0 +1,43 @@
+// Command blobseer-provider runs one standalone data provider exported
+// over TCP (net/rpc + gob), the building block of a multi-machine
+// deployment. Clients reach it through rpc.NewDirectory.
+//
+// Usage:
+//
+//	blobseer-provider -id p01 -listen 127.0.0.1:9001 -zone rennes -capacity 1073741824
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"blobseer/internal/provider"
+	"blobseer/internal/rpc"
+)
+
+func main() {
+	var (
+		id       = flag.String("id", "p01", "provider identity")
+		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		zone     = flag.String("zone", "default", "availability zone / site")
+		capacity = flag.Int64("capacity", 0, "capacity in bytes (0 = unbounded)")
+	)
+	flag.Parse()
+
+	p := provider.New(*id, *zone, *capacity)
+	srv, err := rpc.Serve(p, *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("provider %s (zone %s) serving on %s", *id, *zone, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	st := p.Stats()
+	log.Printf("shutting down: %d chunks, %d bytes, %d stores, %d fetches",
+		st.Chunks, st.Used, st.Stores, st.Fetches)
+	srv.Close()
+}

@@ -1,0 +1,356 @@
+// Package blobmeta implements BlobSeer's distributed metadata: a
+// versioned segment tree over each BLOB's chunk-index space, whose nodes
+// are immutable and distributed across metadata providers by key hash.
+//
+// Every BLOB version is identified by the root node of its tree. A write
+// creates new leaves for the written chunk slots and copies the path to
+// the root; all untouched subtrees are shared with earlier versions by
+// referencing the version number under which they were created. This is
+// what gives BlobSeer lock-free concurrent reads on any published version
+// while writes proceed.
+package blobmeta
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"blobseer/internal/chunk"
+	"blobseer/internal/instrument"
+)
+
+// DefaultSpan is the fixed chunk-index span covered by every root node
+// (2^32 chunk slots). Using a fixed span keeps tree depth constant and
+// makes append-driven growth free: unwritten ranges are holes.
+const DefaultSpan int64 = 1 << 32
+
+// Errors returned by the metadata layer.
+var (
+	ErrNotFound  = errors.New("blobmeta: node not found")
+	ErrBadRange  = errors.New("blobmeta: invalid range")
+	ErrBadSpan   = errors.New("blobmeta: span must be a power of two")
+	ErrCorrupted = errors.New("blobmeta: corrupted tree")
+)
+
+// NodeKey identifies one immutable tree node: the subtree of blob
+// `Blob`, created by version `Version`, covering chunk indices [Lo, Hi).
+type NodeKey struct {
+	Blob    uint64
+	Version uint64
+	Lo, Hi  int64
+}
+
+func (k NodeKey) String() string {
+	return fmt.Sprintf("%d/v%d[%d,%d)", k.Blob, k.Version, k.Lo, k.Hi)
+}
+
+// Node is a tree node. Leaves (Hi-Lo == 1) carry a chunk descriptor;
+// inner nodes reference their children by the version that created them
+// (0 = hole: the child range has never been written).
+type Node struct {
+	Leaf              bool
+	Desc              chunk.Desc
+	LeftVer, RightVer uint64
+}
+
+// Store is the metadata-provider persistence interface. Nodes are
+// immutable: Put of an existing key must be idempotent.
+type Store interface {
+	Put(NodeKey, Node) error
+	Get(NodeKey) (Node, bool, error)
+	Len() int
+}
+
+// MemStore is an in-memory metadata provider.
+type MemStore struct {
+	id   string
+	emit instrument.Emitter
+	now  func() time.Time
+	mu   sync.RWMutex
+	m    map[NodeKey]Node
+}
+
+// NewMemStore returns an empty metadata provider. emit and now may be nil.
+func NewMemStore(id string, emit instrument.Emitter, now func() time.Time) *MemStore {
+	if emit == nil {
+		emit = instrument.Nop{}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &MemStore{id: id, emit: emit, now: now, m: make(map[NodeKey]Node)}
+}
+
+// ID returns the provider identity.
+func (s *MemStore) ID() string { return s.id }
+
+// Put stores a node (idempotent).
+func (s *MemStore) Put(k NodeKey, n Node) error {
+	s.mu.Lock()
+	s.m[k] = n
+	s.mu.Unlock()
+	s.emit.Emit(instrument.Event{
+		Time: s.now(), Actor: instrument.ActorMetaProvider, Node: s.id,
+		Op: instrument.OpMetaPut, Blob: k.Blob, Version: k.Version,
+	})
+	return nil
+}
+
+// Get fetches a node.
+func (s *MemStore) Get(k NodeKey) (Node, bool, error) {
+	s.mu.RLock()
+	n, ok := s.m[k]
+	s.mu.RUnlock()
+	s.emit.Emit(instrument.Event{
+		Time: s.now(), Actor: instrument.ActorMetaProvider, Node: s.id,
+		Op: instrument.OpMetaGet, Blob: k.Blob, Version: k.Version,
+	})
+	return n, ok, nil
+}
+
+// Len returns the number of stored nodes.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Ring shards nodes across several metadata providers by key hash,
+// mirroring BlobSeer's DHT-distributed metadata.
+type Ring struct {
+	stores []Store
+}
+
+// NewRing returns a ring over the given stores (at least one).
+func NewRing(stores ...Store) (*Ring, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("blobmeta: ring needs at least one store")
+	}
+	return &Ring{stores: append([]Store(nil), stores...)}, nil
+}
+
+func (r *Ring) pick(k NodeKey) Store {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range []uint64{k.Blob, k.Version, uint64(k.Lo), uint64(k.Hi)} {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return r.stores[h.Sum64()%uint64(len(r.stores))]
+}
+
+// Put implements Store.
+func (r *Ring) Put(k NodeKey, n Node) error { return r.pick(k).Put(k, n) }
+
+// Get implements Store.
+func (r *Ring) Get(k NodeKey) (Node, bool, error) { return r.pick(k).Get(k) }
+
+// Len implements Store (sum over shards).
+func (r *Ring) Len() int {
+	var n int
+	for _, s := range r.stores {
+		n += s.Len()
+	}
+	return n
+}
+
+// Shards returns the per-shard node counts (balance diagnostics).
+func (r *Ring) Shards() []int {
+	out := make([]int, len(r.stores))
+	for i, s := range r.stores {
+		out[i] = s.Len()
+	}
+	return out
+}
+
+// Tree provides versioned read/write access to one BLOB's metadata.
+type Tree struct {
+	store Store
+	blob  uint64
+	span  int64
+}
+
+// NewTree returns a tree for the BLOB over the given store. span ≤ 0
+// selects DefaultSpan; otherwise span must be a power of two.
+func NewTree(store Store, blob uint64, span int64) (*Tree, error) {
+	if span <= 0 {
+		span = DefaultSpan
+	}
+	if span&(span-1) != 0 {
+		return nil, ErrBadSpan
+	}
+	return &Tree{store: store, blob: blob, span: span}, nil
+}
+
+// Span returns the chunk-index span of the tree.
+func (t *Tree) Span() int64 { return t.span }
+
+// Write materializes newVer on top of baseVer with the given chunk
+// descriptors (keyed by chunk index). baseVer 0 means "empty BLOB".
+// It creates the new leaves and the copied paths, sharing every
+// untouched subtree with the base version, and always creates a root
+// node for newVer (so the version is readable even for empty writes).
+func (t *Tree) Write(newVer, baseVer uint64, writes map[int64]chunk.Desc) error {
+	if newVer == 0 {
+		return errors.New("blobmeta: version 0 is reserved for the empty BLOB")
+	}
+	idx := make([]int64, 0, len(writes))
+	for i := range writes {
+		if i < 0 || i >= t.span {
+			return fmt.Errorf("%w: chunk index %d outside [0,%d)", ErrBadRange, i, t.span)
+		}
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	b := &builder{tree: t, newVer: newVer, writes: writes, sorted: idx}
+	_, err := b.descend(0, t.span, baseVer, true)
+	return err
+}
+
+type builder struct {
+	tree   *Tree
+	newVer uint64
+	writes map[int64]chunk.Desc
+	sorted []int64
+}
+
+// anyIn reports whether a written index falls in [lo, hi).
+func (b *builder) anyIn(lo, hi int64) bool {
+	i := sort.Search(len(b.sorted), func(i int) bool { return b.sorted[i] >= lo })
+	return i < len(b.sorted) && b.sorted[i] < hi
+}
+
+// descend builds the subtree for [lo, hi). baseVer is the version of the
+// base tree's node covering exactly this range (0 = hole). It returns the
+// version under which the resulting subtree can be found.
+func (b *builder) descend(lo, hi int64, baseVer uint64, force bool) (uint64, error) {
+	if !b.anyIn(lo, hi) && !force {
+		return baseVer, nil // share the base subtree untouched
+	}
+	key := NodeKey{Blob: b.tree.blob, Version: b.newVer, Lo: lo, Hi: hi}
+	if hi-lo == 1 {
+		desc, ok := b.writes[lo]
+		if !ok {
+			// force-created leaf with no write: copy base leaf if any.
+			if baseVer == 0 {
+				return 0, nil
+			}
+			return baseVer, nil
+		}
+		if err := b.tree.store.Put(key, Node{Leaf: true, Desc: desc.Clone()}); err != nil {
+			return 0, err
+		}
+		return b.newVer, nil
+	}
+	var baseLeft, baseRight uint64
+	if baseVer != 0 {
+		bn, ok, err := b.tree.store.Get(NodeKey{Blob: b.tree.blob, Version: baseVer, Lo: lo, Hi: hi})
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, fmt.Errorf("%w: missing base node v%d [%d,%d)", ErrCorrupted, baseVer, lo, hi)
+		}
+		baseLeft, baseRight = bn.LeftVer, bn.RightVer
+	}
+	mid := lo + (hi-lo)/2
+	lv, err := b.descend(lo, mid, baseLeft, false)
+	if err != nil {
+		return 0, err
+	}
+	rv, err := b.descend(mid, hi, baseRight, false)
+	if err != nil {
+		return 0, err
+	}
+	if err := b.tree.store.Put(key, Node{LeftVer: lv, RightVer: rv}); err != nil {
+		return 0, err
+	}
+	return b.newVer, nil
+}
+
+// Read returns the chunk descriptors for chunk indices [lo, hi) of the
+// given version; holes yield zero descriptors. Version 0 yields all holes.
+func (t *Tree) Read(ver uint64, lo, hi int64) ([]chunk.Desc, error) {
+	if lo < 0 || hi > t.span || lo > hi {
+		return nil, fmt.Errorf("%w: [%d,%d)", ErrBadRange, lo, hi)
+	}
+	out := make([]chunk.Desc, hi-lo)
+	if ver == 0 || lo == hi {
+		return out, nil
+	}
+	err := t.read(ver, 0, t.span, lo, hi, out)
+	return out, err
+}
+
+func (t *Tree) read(ver uint64, nodeLo, nodeHi, lo, hi int64, out []chunk.Desc) error {
+	if ver == 0 || nodeHi <= lo || nodeLo >= hi {
+		return nil
+	}
+	n, ok, err := t.store.Get(NodeKey{Blob: t.blob, Version: ver, Lo: nodeLo, Hi: nodeHi})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: missing node v%d [%d,%d)", ErrCorrupted, ver, nodeLo, nodeHi)
+	}
+	if nodeHi-nodeLo == 1 {
+		if !n.Leaf {
+			return fmt.Errorf("%w: non-leaf at unit range", ErrCorrupted)
+		}
+		out[nodeLo-lo] = n.Desc.Clone()
+		return nil
+	}
+	mid := nodeLo + (nodeHi-nodeLo)/2
+	if err := t.read(n.LeftVer, nodeLo, mid, lo, hi, out); err != nil {
+		return err
+	}
+	return t.read(n.RightVer, mid, nodeHi, lo, hi, out)
+}
+
+// DescAt returns the descriptor for a single chunk index (ok=false for a
+// hole).
+func (t *Tree) DescAt(ver uint64, idx int64) (chunk.Desc, bool, error) {
+	ds, err := t.Read(ver, idx, idx+1)
+	if err != nil {
+		return chunk.Desc{}, false, err
+	}
+	return ds[0], !ds[0].ID.IsZero(), nil
+}
+
+// Walk visits every non-hole leaf of a version in index order, stopping
+// within [lo, hi). Used by the replication manager to scan replica health.
+func (t *Tree) Walk(ver uint64, lo, hi int64, visit func(idx int64, d chunk.Desc) error) error {
+	if ver == 0 {
+		return nil
+	}
+	return t.walk(ver, 0, t.span, lo, hi, visit)
+}
+
+func (t *Tree) walk(ver uint64, nodeLo, nodeHi, lo, hi int64, visit func(int64, chunk.Desc) error) error {
+	if ver == 0 || nodeHi <= lo || nodeLo >= hi {
+		return nil
+	}
+	n, ok, err := t.store.Get(NodeKey{Blob: t.blob, Version: ver, Lo: nodeLo, Hi: nodeHi})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: missing node v%d [%d,%d)", ErrCorrupted, ver, nodeLo, nodeHi)
+	}
+	if nodeHi-nodeLo == 1 {
+		if n.Desc.ID.IsZero() {
+			return nil
+		}
+		return visit(nodeLo, n.Desc.Clone())
+	}
+	mid := nodeLo + (nodeHi-nodeLo)/2
+	if err := t.walk(n.LeftVer, nodeLo, mid, lo, hi, visit); err != nil {
+		return err
+	}
+	return t.walk(n.RightVer, mid, nodeHi, lo, hi, visit)
+}

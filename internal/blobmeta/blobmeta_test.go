@@ -1,0 +1,335 @@
+package blobmeta
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blobseer/internal/chunk"
+)
+
+func desc(tag string) chunk.Desc {
+	return chunk.Desc{ID: chunk.Sum([]byte(tag)), Size: int64(len(tag)), Providers: []string{"p1"}}
+}
+
+func newTestTree(t *testing.T, span int64) *Tree {
+	t.Helper()
+	tr, err := NewTree(NewMemStore("m1", nil, nil), 1, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTreeSpanValidation(t *testing.T) {
+	if _, err := NewTree(NewMemStore("m", nil, nil), 1, 3); !errors.Is(err, ErrBadSpan) {
+		t.Fatalf("want ErrBadSpan, got %v", err)
+	}
+	tr, err := NewTree(NewMemStore("m", nil, nil), 1, 0)
+	if err != nil || tr.Span() != DefaultSpan {
+		t.Fatalf("default span: %v %d", err, tr.Span())
+	}
+}
+
+func TestWriteReadSingleVersion(t *testing.T) {
+	tr := newTestTree(t, 16)
+	w := map[int64]chunk.Desc{0: desc("a"), 1: desc("b"), 5: desc("c")}
+	if err := tr.Write(1, 0, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Read(1, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		want, ok := w[i]
+		if ok && got[i].ID != want.ID {
+			t.Errorf("idx %d: got %v want %v", i, got[i].ID.Short(), want.ID.Short())
+		}
+		if !ok && !got[i].ID.IsZero() {
+			t.Errorf("idx %d: want hole, got %v", i, got[i].ID.Short())
+		}
+	}
+}
+
+func TestVersionIsolation(t *testing.T) {
+	tr := newTestTree(t, 8)
+	if err := tr.Write(1, 0, map[int64]chunk.Desc{0: desc("v1-0"), 1: desc("v1-1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Write(2, 1, map[int64]chunk.Desc{1: desc("v2-1"), 2: desc("v2-2")}); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := tr.Read(1, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := tr.Read(2, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1[1].ID != desc("v1-1").ID {
+		t.Error("v1 leaked a v2 write")
+	}
+	if !v1[2].ID.IsZero() {
+		t.Error("v1 should have a hole at idx 2")
+	}
+	if v2[0].ID != desc("v1-0").ID {
+		t.Error("v2 lost the shared v1 chunk")
+	}
+	if v2[1].ID != desc("v2-1").ID || v2[2].ID != desc("v2-2").ID {
+		t.Error("v2 writes missing")
+	}
+}
+
+func TestStructuralSharing(t *testing.T) {
+	store := NewMemStore("m1", nil, nil)
+	tr, err := NewTree(store, 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Write(1, 0, map[int64]chunk.Desc{0: desc("a")}); err != nil {
+		t.Fatal(err)
+	}
+	before := store.Len()
+	// Second version touches one leaf: node growth must be O(depth), not
+	// O(tree size).
+	if err := tr.Write(2, 1, map[int64]chunk.Desc{1: desc("b")}); err != nil {
+		t.Fatal(err)
+	}
+	growth := store.Len() - before
+	maxDepth := 11 // log2(1024) + leaf
+	if growth > maxDepth+1 {
+		t.Fatalf("node growth %d exceeds O(depth)=%d: no structural sharing", growth, maxDepth)
+	}
+}
+
+func TestEmptyWriteCreatesReadableVersion(t *testing.T) {
+	tr := newTestTree(t, 8)
+	if err := tr.Write(1, 0, map[int64]chunk.Desc{3: desc("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Write(2, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Read(2, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[3].ID != desc("x").ID {
+		t.Fatal("clone version lost base content")
+	}
+}
+
+func TestWriteVersionZeroRejected(t *testing.T) {
+	tr := newTestTree(t, 8)
+	if err := tr.Write(0, 0, nil); err == nil {
+		t.Fatal("want error for version 0")
+	}
+}
+
+func TestWriteOutOfRange(t *testing.T) {
+	tr := newTestTree(t, 8)
+	err := tr.Write(1, 0, map[int64]chunk.Desc{8: desc("x")})
+	if !errors.Is(err, ErrBadRange) {
+		t.Fatalf("want ErrBadRange, got %v", err)
+	}
+	err = tr.Write(1, 0, map[int64]chunk.Desc{-1: desc("x")})
+	if !errors.Is(err, ErrBadRange) {
+		t.Fatalf("want ErrBadRange, got %v", err)
+	}
+}
+
+func TestReadBadRange(t *testing.T) {
+	tr := newTestTree(t, 8)
+	if _, err := tr.Read(1, -1, 4); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("want ErrBadRange, got %v", err)
+	}
+	if _, err := tr.Read(1, 4, 2); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("want ErrBadRange, got %v", err)
+	}
+	if _, err := tr.Read(1, 0, 9); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("want ErrBadRange, got %v", err)
+	}
+}
+
+func TestReadVersionZeroAllHoles(t *testing.T) {
+	tr := newTestTree(t, 8)
+	got, err := tr.Read(0, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range got {
+		if !d.ID.IsZero() {
+			t.Fatalf("idx %d not a hole", i)
+		}
+	}
+}
+
+func TestDescAt(t *testing.T) {
+	tr := newTestTree(t, 8)
+	if err := tr.Write(1, 0, map[int64]chunk.Desc{2: desc("x")}); err != nil {
+		t.Fatal(err)
+	}
+	d, ok, err := tr.DescAt(1, 2)
+	if err != nil || !ok || d.ID != desc("x").ID {
+		t.Fatalf("DescAt: %v %v %v", d, ok, err)
+	}
+	_, ok, err = tr.DescAt(1, 3)
+	if err != nil || ok {
+		t.Fatalf("hole DescAt: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	tr := newTestTree(t, 16)
+	w := map[int64]chunk.Desc{1: desc("a"), 4: desc("b"), 9: desc("c")}
+	if err := tr.Write(1, 0, w); err != nil {
+		t.Fatal(err)
+	}
+	var visited []int64
+	err := tr.Walk(1, 0, 16, func(idx int64, d chunk.Desc) error {
+		visited = append(visited, idx)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 3 || visited[0] != 1 || visited[1] != 4 || visited[2] != 9 {
+		t.Fatalf("visited=%v", visited)
+	}
+	// Bounded walk.
+	visited = nil
+	if err := tr.Walk(1, 2, 9, func(idx int64, d chunk.Desc) error {
+		visited = append(visited, idx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 1 || visited[0] != 4 {
+		t.Fatalf("bounded visited=%v", visited)
+	}
+	// Walk error propagation.
+	wantErr := errors.New("stop")
+	if err := tr.Walk(1, 0, 16, func(int64, chunk.Desc) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("walk error: %v", err)
+	}
+}
+
+func TestRingShardsAndRoundTrip(t *testing.T) {
+	stores := make([]Store, 4)
+	for i := range stores {
+		stores[i] = NewMemStore(fmt.Sprintf("m%d", i), nil, nil)
+	}
+	ring, err := NewRing(stores...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTree(ring, 7, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := map[int64]chunk.Desc{}
+	for i := int64(0); i < 64; i++ {
+		w[i] = desc(fmt.Sprintf("c%d", i))
+	}
+	if err := tr.Write(1, 0, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Read(1, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 64; i++ {
+		if got[i].ID != w[i].ID {
+			t.Fatalf("idx %d mismatch", i)
+		}
+	}
+	// Distribution sanity: all shards should hold something.
+	shards := ring.Shards()
+	total := 0
+	for i, n := range shards {
+		if n == 0 {
+			t.Errorf("shard %d is empty: %v", i, shards)
+		}
+		total += n
+	}
+	if total != ring.Len() {
+		t.Fatalf("Len mismatch: %d vs %d", ring.Len(), total)
+	}
+}
+
+func TestNewRingEmpty(t *testing.T) {
+	if _, err := NewRing(); err == nil {
+		t.Fatal("want error for empty ring")
+	}
+}
+
+// Property: after a random sequence of versioned writes, reading any
+// version reflects exactly the writes up to that version (read-your-writes
+// plus snapshot isolation).
+func TestSnapshotSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const span = 64
+		tr, err := NewTree(NewMemStore("m", nil, nil), 1, span)
+		if err != nil {
+			return false
+		}
+		// model[v][idx] = expected desc at version v
+		model := []map[int64]chunk.ID{{}} // version 0: empty
+		nVersions := rng.Intn(6) + 2
+		for v := 1; v <= nVersions; v++ {
+			writes := map[int64]chunk.Desc{}
+			nw := rng.Intn(8)
+			for i := 0; i < nw; i++ {
+				idx := int64(rng.Intn(span))
+				writes[idx] = desc(fmt.Sprintf("s%d-v%d-i%d", seed, v, idx))
+			}
+			if err := tr.Write(uint64(v), uint64(v-1), writes); err != nil {
+				return false
+			}
+			next := map[int64]chunk.ID{}
+			for k, id := range model[v-1] {
+				next[k] = id
+			}
+			for k, d := range writes {
+				next[k] = d.ID
+			}
+			model = append(model, next)
+		}
+		for v := 0; v <= nVersions; v++ {
+			got, err := tr.Read(uint64(v), 0, span)
+			if err != nil {
+				return false
+			}
+			for i := int64(0); i < span; i++ {
+				want, ok := model[v][i]
+				if ok && got[i].ID != want {
+					return false
+				}
+				if !ok && !got[i].ID.IsZero() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepTreeDefaultSpan(t *testing.T) {
+	tr := newTestTree(t, 0) // DefaultSpan = 2^32
+	far := int64(3_000_000_000)
+	if err := tr.Write(1, 0, map[int64]chunk.Desc{0: desc("lo"), far: desc("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	d, ok, err := tr.DescAt(1, far)
+	if err != nil || !ok || d.ID != desc("hi").ID {
+		t.Fatalf("deep read: %v %v %v", d, ok, err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package chunk defines the unit of storage in BlobSeer: BLOBs are split
+// into equally-sized chunks, addressed by content hash. Chunks are
+// immutable; versions of a BLOB share unchanged chunks.
+package chunk
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// DefaultSize is the chunk size used when a BLOB is created without an
+// explicit one (64 MiB, the size used in the paper's experiments).
+const DefaultSize = 64 << 20
+
+// ID is the content address of a chunk (SHA-256 of its payload).
+type ID [sha256.Size]byte
+
+// Sum returns the ID of a payload.
+func Sum(data []byte) ID { return sha256.Sum256(data) }
+
+// String returns the hex form of the ID.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// Short returns an abbreviated hex form, convenient for logs.
+func (id ID) Short() string { return hex.EncodeToString(id[:6]) }
+
+// IsZero reports whether the ID is the zero value.
+func (id ID) IsZero() bool { return id == ID{} }
+
+// ParseID parses a hex-encoded chunk ID.
+func ParseID(s string) (ID, error) {
+	var id ID
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return id, fmt.Errorf("chunk: parse id: %w", err)
+	}
+	if len(b) != len(id) {
+		return id, fmt.Errorf("chunk: parse id: want %d bytes, got %d", len(id), len(b))
+	}
+	copy(id[:], b)
+	return id, nil
+}
+
+// Desc describes one stored chunk from the metadata point of view: where
+// its replicas live and how many of its bytes are valid.
+type Desc struct {
+	ID        ID
+	Size      int64    // valid payload bytes (≤ chunk size of the BLOB)
+	Providers []string // provider IDs holding a replica, primary first
+}
+
+// Clone returns a deep copy of the descriptor.
+func (d Desc) Clone() Desc {
+	out := d
+	out.Providers = append([]string(nil), d.Providers...)
+	return out
+}
+
+// ErrBadSize reports an invalid chunk size.
+var ErrBadSize = errors.New("chunk: size must be positive")
+
+// Piece is one chunk-sized slice of a write, produced by Split.
+type Piece struct {
+	Index int64 // chunk index within the BLOB (offset / chunkSize)
+	Data  []byte
+}
+
+// Split cuts data, which starts at byte offset off within the BLOB, into
+// chunk-aligned pieces of at most size bytes. The first and last pieces
+// may be partial (they cover only part of a chunk slot); callers that
+// need full-chunk writes must pre-read and merge (see client.Writer).
+//
+// Split does not copy: pieces alias data.
+func Split(off int64, data []byte, size int64) ([]Piece, error) {
+	if size <= 0 {
+		return nil, ErrBadSize
+	}
+	if off < 0 {
+		return nil, fmt.Errorf("chunk: negative offset %d", off)
+	}
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var pieces []Piece
+	pos := int64(0)
+	n := int64(len(data))
+	for pos < n {
+		abs := off + pos
+		idx := abs / size
+		// bytes remaining in this chunk slot
+		room := (idx+1)*size - abs
+		take := room
+		if take > n-pos {
+			take = n - pos
+		}
+		pieces = append(pieces, Piece{Index: idx, Data: data[pos : pos+take]})
+		pos += take
+	}
+	return pieces, nil
+}
+
+// Covers reports whether a piece covers the full chunk slot of the given
+// chunk size, assuming the piece begins at the slot boundary.
+func (p Piece) Covers(off, size int64) bool {
+	start := off + int64(0)
+	_ = start
+	return int64(len(p.Data)) == size
+}
+
+// SlotRange returns the absolute byte range [lo, hi) of chunk index idx
+// for the given chunk size.
+func SlotRange(idx, size int64) (lo, hi int64) {
+	return idx * size, (idx + 1) * size
+}
+
+// NumChunks returns the number of chunk slots needed to cover a BLOB of
+// the given byte size.
+func NumChunks(blobSize, chunkSize int64) int64 {
+	if blobSize <= 0 {
+		return 0
+	}
+	return (blobSize + chunkSize - 1) / chunkSize
+}

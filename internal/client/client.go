@@ -1,0 +1,472 @@
+// Package client implements the BlobSeer client actor: the interface user
+// applications call to create BLOBs, read ranges, write and append. It
+// coordinates the version manager (tickets and publication), the provider
+// manager (chunk placement) and the data providers (chunk transfer).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"blobseer/internal/chunk"
+	"blobseer/internal/instrument"
+	"blobseer/internal/pmanager"
+	"blobseer/internal/vmanager"
+)
+
+// Errors returned by the client.
+var (
+	ErrBlocked     = errors.New("client: user is blocked by the security framework")
+	ErrNoReplica   = errors.New("client: no replica could be stored")
+	ErrUnavailable = errors.New("client: all replicas unavailable")
+	ErrShortRead   = errors.New("client: range extends past blob size")
+)
+
+// Conn is the client's view of one data provider.
+type Conn interface {
+	Store(user string, id chunk.ID, data []byte) error
+	Fetch(user string, id chunk.ID) ([]byte, error)
+}
+
+// Directory resolves provider IDs to connections; the real plane resolves
+// to in-process providers or RPC stubs, the S3 gateway shares one.
+type Directory interface {
+	Lookup(providerID string) (Conn, error)
+}
+
+// DirectoryFunc adapts a function to Directory.
+type DirectoryFunc func(string) (Conn, error)
+
+// Lookup implements Directory.
+func (f DirectoryFunc) Lookup(id string) (Conn, error) { return f(id) }
+
+// Gatekeeper is the feedback hook of the security framework: every client
+// operation is admitted through it, so policy enforcement (blocking,
+// throttling) takes effect on the data path.
+type Gatekeeper interface {
+	Allow(user string, op instrument.Op) error
+}
+
+// AllowAll is the default gatekeeper.
+type AllowAll struct{}
+
+// Allow always admits.
+func (AllowAll) Allow(string, instrument.Op) error { return nil }
+
+// Client is a BlobSeer client bound to one user identity.
+type Client struct {
+	user     string
+	vm       *vmanager.Manager
+	pm       *pmanager.Manager
+	dir      Directory
+	gate     Gatekeeper
+	emit     instrument.Emitter
+	now      func() time.Time
+	replicas int
+	workers  int
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithReplicas sets the replication degree for new chunks (default 1).
+func WithReplicas(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.replicas = n
+		}
+	}
+}
+
+// WithGatekeeper installs the security-enforcement hook.
+func WithGatekeeper(g Gatekeeper) Option {
+	return func(c *Client) {
+		if g != nil {
+			c.gate = g
+		}
+	}
+}
+
+// WithEmitter attaches instrumentation.
+func WithEmitter(e instrument.Emitter) Option {
+	return func(c *Client) {
+		if e != nil {
+			c.emit = e
+		}
+	}
+}
+
+// WithClock overrides the time source.
+func WithClock(now func() time.Time) Option {
+	return func(c *Client) {
+		if now != nil {
+			c.now = now
+		}
+	}
+}
+
+// WithWorkers bounds parallel chunk transfers (default 8).
+func WithWorkers(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}
+
+// New returns a client for user backed by the given actors.
+func New(user string, vm *vmanager.Manager, pm *pmanager.Manager, dir Directory, opts ...Option) *Client {
+	c := &Client{
+		user: user, vm: vm, pm: pm, dir: dir,
+		gate: AllowAll{}, emit: instrument.Nop{}, now: time.Now,
+		replicas: 1, workers: 8,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// User returns the client identity.
+func (c *Client) User() string { return c.user }
+
+// Create makes a new BLOB with the given chunk size (0 = default).
+func (c *Client) Create(chunkSize int64) (vmanager.BlobInfo, error) {
+	if err := c.gate.Allow(c.user, instrument.OpCreate); err != nil {
+		return vmanager.BlobInfo{}, err
+	}
+	info, err := c.vm.Create(c.user, chunkSize, false)
+	c.event(instrument.OpCreate, info.ID, 0, 0, 0, err)
+	return info, err
+}
+
+// CreateTemporary makes a BLOB flagged for the temporary-data removal
+// strategy.
+func (c *Client) CreateTemporary(chunkSize int64) (vmanager.BlobInfo, error) {
+	if err := c.gate.Allow(c.user, instrument.OpCreate); err != nil {
+		return vmanager.BlobInfo{}, err
+	}
+	info, err := c.vm.Create(c.user, chunkSize, true)
+	c.event(instrument.OpCreate, info.ID, 0, 0, 0, err)
+	return info, err
+}
+
+// Write stores data at the given offset and returns the published version.
+func (c *Client) Write(blob uint64, offset int64, data []byte) (uint64, error) {
+	start := c.now()
+	if err := c.gate.Allow(c.user, instrument.OpWrite); err != nil {
+		c.event(instrument.OpWrite, blob, 0, offset, int64(len(data)), err)
+		return 0, err
+	}
+	tk, err := c.vm.AssignWrite(blob, c.user, offset, int64(len(data)))
+	if err != nil {
+		return 0, err
+	}
+	ver, err := c.transferAndPublish(tk, instrument.OpWrite, data, start)
+	return ver, err
+}
+
+// Append stores data at the BLOB's end and returns the published version.
+func (c *Client) Append(blob uint64, data []byte) (uint64, error) {
+	start := c.now()
+	if err := c.gate.Allow(c.user, instrument.OpAppend); err != nil {
+		c.event(instrument.OpAppend, blob, 0, 0, int64(len(data)), err)
+		return 0, err
+	}
+	tk, err := c.vm.AssignAppend(blob, c.user, int64(len(data)))
+	if err != nil {
+		return 0, err
+	}
+	ver, err := c.transferAndPublish(tk, instrument.OpAppend, data, start)
+	return ver, err
+}
+
+// transferAndPublish splits the data, merges partial edge chunks against
+// the latest published version, stores replicas in parallel and publishes.
+func (c *Client) transferAndPublish(tk vmanager.Ticket, op instrument.Op, data []byte, start time.Time) (uint64, error) {
+	pieces, err := chunk.Split(tk.Offset, data, tk.ChunkSize)
+	if err != nil {
+		c.abort(tk)
+		return 0, err
+	}
+	full, err := c.mergePartials(tk, pieces)
+	if err != nil {
+		c.abort(tk)
+		return 0, err
+	}
+	placement, err := c.pm.Allocate(len(full), c.replicas)
+	if err != nil {
+		c.abort(tk)
+		return 0, err
+	}
+	writes := make(map[int64]chunk.Desc, len(full))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, c.workers)
+	var wg sync.WaitGroup
+	for i, p := range full {
+		wg.Add(1)
+		go func(i int, p chunk.Piece) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			id := chunk.Sum(p.Data)
+			var stored []string
+			for _, pid := range placement[i] {
+				conn, err := c.dir.Lookup(pid)
+				if err != nil {
+					continue
+				}
+				if err := conn.Store(c.user, id, p.Data); err == nil {
+					stored = append(stored, pid)
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if len(stored) == 0 {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: chunk %d", ErrNoReplica, p.Index)
+				}
+				return
+			}
+			writes[p.Index] = chunk.Desc{ID: id, Size: int64(len(p.Data)), Providers: stored}
+		}(i, p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		c.abort(tk)
+		c.event(op, tk.Blob, tk.Version, tk.Offset, int64(len(data)), firstErr)
+		return 0, firstErr
+	}
+	if err := c.vm.Publish(tk.Blob, tk.Version, c.user, writes); err != nil {
+		c.event(op, tk.Blob, tk.Version, tk.Offset, int64(len(data)), err)
+		return 0, err
+	}
+	ev := instrument.Event{
+		Time: c.now(), Actor: instrument.ActorClient, Node: c.user, User: c.user,
+		Op: op, Blob: tk.Blob, Version: tk.Version,
+		Offset: tk.Offset, Bytes: int64(len(data)), Dur: c.now().Sub(start),
+	}
+	c.emit.Emit(ev)
+	return tk.Version, nil
+}
+
+// mergePartials turns edge pieces that only partially cover their chunk
+// slot into full-slot pieces by reading the current content underneath.
+func (c *Client) mergePartials(tk vmanager.Ticket, pieces []chunk.Piece) ([]chunk.Piece, error) {
+	if len(pieces) == 0 {
+		return pieces, nil
+	}
+	latest, err := c.vm.Latest(tk.Blob)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]chunk.Piece, len(pieces))
+	copy(out, pieces)
+	for i := range out {
+		p := &out[i]
+		slotLo, _ := chunk.SlotRange(p.Index, tk.ChunkSize)
+		var within int64 // piece offset within slot
+		if i == 0 {
+			within = tk.Offset - slotLo
+		}
+		if within == 0 && int64(len(p.Data)) == tk.ChunkSize {
+			continue // already full
+		}
+		// Slot end is bounded by what exists plus what we write.
+		end := within + int64(len(p.Data))
+		base, err := c.readRaw(tk.Blob, latest.Version, latest.Size, slotLo, tk.ChunkSize)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, tk.ChunkSize)
+		copy(buf, base)
+		copy(buf[within:], p.Data)
+		valid := end
+		if int64(len(base)) > valid {
+			valid = int64(len(base))
+		}
+		p.Data = buf[:valid]
+	}
+	return out, nil
+}
+
+// Read returns length bytes at offset from the given version (0 = latest
+// published). Holes read as zeros; reads past the version size fail with
+// ErrShortRead.
+func (c *Client) Read(blob uint64, version uint64, offset, length int64) ([]byte, error) {
+	start := c.now()
+	if err := c.gate.Allow(c.user, instrument.OpRead); err != nil {
+		c.event(instrument.OpRead, blob, version, offset, length, err)
+		return nil, err
+	}
+	vm, err := c.resolveVersion(blob, version)
+	if err != nil {
+		return nil, err
+	}
+	if offset < 0 || length < 0 || offset+length > vm.Size {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrShortRead, offset, offset+length, vm.Size)
+	}
+	data, err := c.readRange(blob, vm.Version, offset, length)
+	ev := instrument.Event{
+		Time: c.now(), Actor: instrument.ActorClient, Node: c.user, User: c.user,
+		Op: instrument.OpRead, Blob: blob, Version: vm.Version,
+		Offset: offset, Bytes: length, Dur: c.now().Sub(start),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	c.emit.Emit(ev)
+	return data, err
+}
+
+// Size returns the size of a version (0 = latest).
+func (c *Client) Size(blob, version uint64) (int64, error) {
+	vm, err := c.resolveVersion(blob, version)
+	if err != nil {
+		return 0, err
+	}
+	return vm.Size, nil
+}
+
+// Latest returns the latest published version number.
+func (c *Client) Latest(blob uint64) (uint64, error) {
+	vm, err := c.vm.Latest(blob)
+	if err != nil {
+		return 0, err
+	}
+	return vm.Version, nil
+}
+
+func (c *Client) resolveVersion(blob, version uint64) (vmanager.VersionMeta, error) {
+	if version == 0 {
+		return c.vm.Latest(blob)
+	}
+	return c.vm.Version(blob, version)
+}
+
+func (c *Client) readRange(blob, version uint64, offset, length int64) ([]byte, error) {
+	info, err := c.vm.Info(blob)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := c.vm.Version(blob, version)
+	if err != nil {
+		return nil, err
+	}
+	return c.readRawChecked(blob, version, vm.Size, offset, length, info.ChunkSize)
+}
+
+// readRaw reads up to length bytes at offset, clamped to the version
+// size; it returns fewer bytes when the version ends first.
+func (c *Client) readRaw(blob, version uint64, size, offset, length int64) ([]byte, error) {
+	if version == 0 || offset >= size {
+		return nil, nil
+	}
+	info, err := c.vm.Info(blob)
+	if err != nil {
+		return nil, err
+	}
+	if offset+length > size {
+		length = size - offset
+	}
+	return c.readRawChecked(blob, version, size, offset, length, info.ChunkSize)
+}
+
+func (c *Client) readRawChecked(blob, version uint64, size, offset, length, chunkSize int64) ([]byte, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	tree, err := c.vm.Tree(blob)
+	if err != nil {
+		return nil, err
+	}
+	loIdx := offset / chunkSize
+	hiIdx := (offset + length - 1) / chunkSize
+	descs, err := tree.Read(version, loIdx, hiIdx+1)
+	if err != nil {
+		return nil, err
+	}
+	chunks := make([][]byte, len(descs))
+	sem := make(chan struct{}, c.workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i, d := range descs {
+		if d.ID.IsZero() {
+			continue // hole: zeros
+		}
+		wg.Add(1)
+		go func(i int, d chunk.Desc) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			data, err := c.fetchReplica(d)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			chunks[i] = data
+		}(i, d)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := make([]byte, length)
+	for i := range descs {
+		slotLo, _ := chunk.SlotRange(loIdx+int64(i), chunkSize)
+		data := chunks[i]
+		for j := 0; j < len(data); j++ {
+			abs := slotLo + int64(j)
+			if abs < offset || abs >= offset+length {
+				continue
+			}
+			out[abs-offset] = data[j]
+		}
+	}
+	return out, nil
+}
+
+// fetchReplica tries each replica in order until one serves the chunk.
+func (c *Client) fetchReplica(d chunk.Desc) ([]byte, error) {
+	var lastErr error
+	for _, pid := range d.Providers {
+		conn, err := c.dir.Lookup(pid)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := conn.Fetch(c.user, d.ID)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = ErrUnavailable
+	}
+	return nil, fmt.Errorf("%w: chunk %s: %v", ErrUnavailable, d.ID.Short(), lastErr)
+}
+
+func (c *Client) abort(tk vmanager.Ticket) {
+	// Best effort: keep the publication chain moving for later writers.
+	_ = c.vm.Abort(tk.Blob, tk.Version)
+}
+
+func (c *Client) event(op instrument.Op, blob, ver uint64, off, n int64, err error) {
+	ev := instrument.Event{
+		Time: c.now(), Actor: instrument.ActorClient, Node: c.user, User: c.user,
+		Op: op, Blob: blob, Version: ver, Offset: off, Bytes: n,
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	c.emit.Emit(ev)
+}

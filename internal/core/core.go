@@ -1,0 +1,375 @@
+// Package core assembles a complete self-adaptive BlobSeer deployment:
+// the five BlobSeer actors, the three-layer introspection stack, the
+// security policy framework with trust management, and the
+// self-configuration / self-optimization engines — the paper's whole
+// system behind one constructor.
+//
+// A Cluster is an in-process deployment (the real plane). Examples, the
+// CLI tools and the S3 gateway build on it; the large-scale experiments
+// use internal/cloudsim, which reuses the same decision components over a
+// discrete-event simulation of Grid'5000.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"blobseer/internal/blobmeta"
+	"blobseer/internal/chunk"
+	"blobseer/internal/client"
+	"blobseer/internal/history"
+	"blobseer/internal/instrument"
+	"blobseer/internal/introspect"
+	"blobseer/internal/monitor"
+	"blobseer/internal/pmanager"
+	"blobseer/internal/policy"
+	"blobseer/internal/provider"
+	"blobseer/internal/selfconfig"
+	"blobseer/internal/selfopt"
+	"blobseer/internal/trust"
+	"blobseer/internal/vmanager"
+)
+
+// Options configures a Cluster. The zero value is usable: NewCluster
+// fills defaults.
+type Options struct {
+	Providers        int      // data providers (default 4)
+	MetaProviders    int      // metadata providers (default 2)
+	MonitorServices  int      // monitoring services (default 2)
+	StorageServers   int      // introspection storage servers (default 2)
+	ProviderCapacity int64    // bytes per provider (0 = unbounded)
+	Replicas         int      // chunk replication degree for clients (default 1)
+	Zones            []string // provider zones, round-robin (default one zone)
+	PolicySource     string   // policy DSL ("" = policy.DefaultCatalog)
+	Monitoring       bool     // attach the introspection stack (default true via NewCluster)
+	AgentBatch       int      // monitoring agent batch size (default 32)
+	Clock            func() time.Time
+	Elasticity       *selfconfig.Config // enable the elasticity controller
+	BaseDegree       int                // replication maintenance target (default = Replicas)
+}
+
+// Cluster is a fully wired in-process deployment.
+type Cluster struct {
+	opts Options
+	now  func() time.Time
+
+	VM    *vmanager.Manager
+	PM    *pmanager.Manager
+	Mesh  *monitor.Mesh
+	Intro *introspect.Introspector
+	Store *introspect.Cluster
+	Hist  *history.History
+	Trust *trust.Manager
+	Enf   *policy.Enforcer
+	Eng   *policy.Engine
+	Rep   *selfopt.Replicator
+	Elast *selfconfig.Controller
+
+	mu        sync.Mutex
+	providers map[string]*provider.Provider
+	nextProv  int
+}
+
+// NewCluster builds and wires a deployment.
+func NewCluster(opts Options) (*Cluster, error) {
+	if opts.Providers <= 0 {
+		opts.Providers = 4
+	}
+	if opts.MetaProviders <= 0 {
+		opts.MetaProviders = 2
+	}
+	if opts.MonitorServices <= 0 {
+		opts.MonitorServices = 2
+	}
+	if opts.StorageServers <= 0 {
+		opts.StorageServers = 2
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = 1
+	}
+	if opts.BaseDegree <= 0 {
+		opts.BaseDegree = opts.Replicas
+	}
+	if opts.AgentBatch <= 0 {
+		opts.AgentBatch = 32
+	}
+	if len(opts.Zones) == 0 {
+		opts.Zones = []string{"zone0"}
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.PolicySource == "" {
+		opts.PolicySource = policy.DefaultCatalog
+	}
+	policies, err := policy.Parse(opts.PolicySource)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	c := &Cluster{
+		opts:      opts,
+		now:       opts.Clock,
+		providers: make(map[string]*provider.Provider),
+	}
+
+	// Monitoring mesh + introspection stack.
+	c.Mesh = monitor.NewMesh(opts.MonitorServices, 0)
+	c.Intro = introspect.NewIntrospector(0)
+	c.Store = introspect.NewCluster(opts.StorageServers, 0, 0)
+	c.Hist = history.New()
+	c.Mesh.Subscribe(c.Intro)
+	c.Mesh.Subscribe(c.Store)
+	c.Mesh.Subscribe(c.Hist)
+
+	// Metadata providers behind a ring.
+	stores := make([]blobmeta.Store, opts.MetaProviders)
+	for i := range stores {
+		id := fmt.Sprintf("meta%02d", i)
+		stores[i] = blobmeta.NewMemStore(id, c.agentFor(id), c.now)
+	}
+	ring, err := blobmeta.NewRing(stores...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Version and provider managers.
+	c.VM = vmanager.New(ring,
+		vmanager.WithEmitter(c.agentFor("vmanager")),
+		vmanager.WithClock(c.now))
+	c.PM = pmanager.New(
+		pmanager.WithEmitter(c.agentFor("pmanager")),
+		pmanager.WithClock(c.now),
+		pmanager.WithTTL(0))
+
+	// Security framework.
+	c.Trust = trust.New(trust.WithClock(c.now))
+	c.Enf = policy.NewEnforcer(
+		policy.WithEmitter(c.agentFor("security")),
+		policy.WithClock(c.now))
+	sink := trust.Sink{Inner: c.Enf, Trust: c.Trust}
+	c.Eng = policy.NewEngine(c.Hist, policies, sink, policy.WithTrust(c.Trust))
+
+	// Data providers.
+	for i := 0; i < opts.Providers; i++ {
+		if _, err := c.AddProvider(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Self-optimization.
+	c.Rep = selfopt.NewReplicator(c.VM, c.PM, poolAdapter{c}, c.Intro,
+		selfopt.WithBaseDegree(opts.BaseDegree),
+		selfopt.WithEmitter(c.agentFor("selfopt")))
+
+	// Self-configuration (optional).
+	if opts.Elasticity != nil {
+		ctl, err := selfconfig.New(*opts.Elasticity, actuator{c},
+			selfconfig.WithEmitter(c.agentFor("selfconfig")))
+		if err != nil {
+			return nil, err
+		}
+		c.Elast = ctl
+	}
+	return c, nil
+}
+
+// agentFor returns a monitoring agent emitter for a node if monitoring is
+// on, else a Nop.
+func (c *Cluster) agentFor(node string) instrument.Emitter {
+	if !c.opts.Monitoring {
+		return instrument.Nop{}
+	}
+	return c.Mesh.NewAgent(node, c.opts.AgentBatch)
+}
+
+// AddProvider deploys one more data provider and returns its ID.
+func (c *Cluster) AddProvider() (string, error) {
+	c.mu.Lock()
+	i := c.nextProv
+	c.nextProv++
+	id := fmt.Sprintf("provider%03d", i)
+	zone := c.opts.Zones[i%len(c.opts.Zones)]
+	p := provider.New(id, zone, c.opts.ProviderCapacity,
+		provider.WithEmitter(c.agentFor(id)),
+		provider.WithClock(c.now))
+	c.providers[id] = p
+	c.mu.Unlock()
+	if err := c.PM.Register(pmanager.Info{ID: id, Zone: zone, Capacity: c.opts.ProviderCapacity}); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// RemoveProvider retires a provider (its chunks stay until re-replication
+// heals the degree, as in a real decommissioning).
+func (c *Cluster) RemoveProvider(id string) error {
+	c.mu.Lock()
+	p, ok := c.providers[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: no provider %s", id)
+	}
+	p.Stop()
+	return c.PM.Unregister(id)
+}
+
+// Providers lists provider IDs sorted.
+func (c *Cluster) Providers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.providers))
+	for id, p := range c.providers {
+		if !p.Stopped() {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Provider returns a provider by ID.
+func (c *Cluster) Provider(id string) (*provider.Provider, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.providers[id]
+	return p, ok
+}
+
+// Lookup implements client.Directory.
+func (c *Cluster) Lookup(id string) (client.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.providers[id]
+	if !ok {
+		return nil, fmt.Errorf("core: no provider %s", id)
+	}
+	return p, nil
+}
+
+// Client returns a client bound to a user identity, wired through the
+// security gatekeeper and the introspection stack.
+func (c *Cluster) Client(user string) *client.Client {
+	emitter := instrument.NewTap(c.Intro)
+	if c.opts.Monitoring {
+		emitter.Attach(c.Mesh.NewAgent("client-"+user, c.opts.AgentBatch))
+	}
+	return client.New(user, c.VM, c.PM, c,
+		client.WithReplicas(c.opts.Replicas),
+		client.WithGatekeeper(c.Enf),
+		client.WithEmitter(emitter),
+		client.WithClock(c.now))
+}
+
+// Tick advances the control plane at the given instant: providers report
+// physical parameters, agents flush, storage servers persist, the
+// detection engine scans, replication heals, elasticity reacts. Call it
+// periodically (e.g. every few seconds of real or simulated time).
+func (c *Cluster) Tick(now time.Time) {
+	c.mu.Lock()
+	provs := make([]*provider.Provider, 0, len(c.providers))
+	for _, p := range c.providers {
+		if !p.Stopped() {
+			provs = append(provs, p)
+		}
+	}
+	c.mu.Unlock()
+	for _, p := range provs {
+		st := p.Stats()
+		cpu := float64(st.Active) / 16
+		if cpu > 1 {
+			cpu = 1
+		}
+		p.ReportPhysical(cpu, 0)
+		_ = c.PM.Heartbeat(p.ID(), st.Used, st.Active)
+	}
+	c.Mesh.FlushAll()
+	c.Store.FlushAll()
+	c.Eng.Evaluate(now)
+	if c.Elast != nil {
+		c.Elast.Tick(now, c.Intro.MeanLoad())
+	}
+}
+
+// Heal runs one replication-maintenance scan.
+func (c *Cluster) Heal(now time.Time) (selfopt.RepairReport, error) {
+	return c.Rep.Scan(now)
+}
+
+// poolAdapter exposes the cluster's providers as a selfopt.Pool.
+type poolAdapter struct{ c *Cluster }
+
+func (a poolAdapter) Fetch(id string, ch chunk.ID) ([]byte, error) {
+	p, ok := a.c.Provider(id)
+	if !ok {
+		return nil, fmt.Errorf("core: no provider %s", id)
+	}
+	return p.Fetch("selfopt", ch)
+}
+
+func (a poolAdapter) Store(id string, ch chunk.ID, data []byte) error {
+	p, ok := a.c.Provider(id)
+	if !ok {
+		return fmt.Errorf("core: no provider %s", id)
+	}
+	return p.Store("selfopt", ch, data)
+}
+
+func (a poolAdapter) Remove(id string, ch chunk.ID) error {
+	p, ok := a.c.Provider(id)
+	if !ok {
+		return fmt.Errorf("core: no provider %s", id)
+	}
+	return p.Remove(ch)
+}
+
+func (a poolAdapter) Alive(id string) bool {
+	p, ok := a.c.Provider(id)
+	return ok && !p.Stopped()
+}
+
+// Pool exposes the cluster's providers as a selfopt.Pool (for reapers).
+func (c *Cluster) Pool() selfopt.Pool { return poolAdapter{c} }
+
+// actuator implements selfconfig.Actuator over the cluster.
+type actuator struct{ c *Cluster }
+
+func (a actuator) PoolSize() int { return len(a.c.Providers()) }
+
+func (a actuator) ScaleTo(n int) (int, error) {
+	cur := a.c.Providers()
+	switch {
+	case n > len(cur):
+		for i := len(cur); i < n; i++ {
+			if _, err := a.c.AddProvider(); err != nil {
+				return len(a.c.Providers()), err
+			}
+		}
+	case n < len(cur):
+		// Retire the emptiest providers first.
+		type pu struct {
+			id   string
+			used int64
+		}
+		var all []pu
+		for _, id := range cur {
+			if p, ok := a.c.Provider(id); ok {
+				all = append(all, pu{id, p.Used()})
+			}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].used != all[j].used {
+				return all[i].used < all[j].used
+			}
+			return all[i].id < all[j].id
+		})
+		for i := 0; i < len(cur)-n; i++ {
+			if err := a.c.RemoveProvider(all[i].id); err != nil {
+				return len(a.c.Providers()), err
+			}
+		}
+	}
+	return len(a.c.Providers()), nil
+}

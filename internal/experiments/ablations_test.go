@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAB1StrategyBalance(t *testing.T) {
+	tb := AB1(Scale{Quick: true})
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows=%d", len(tb.Rows))
+	}
+	cvOf := map[string]float64{}
+	spreadOf := map[string]float64{}
+	for i, row := range tb.Rows {
+		cv := cellF(t, tb, i, 1)
+		if cv < 0 || cv > 2 {
+			t.Fatalf("%s: implausible cv %v", row[0], cv)
+		}
+		cvOf[row[0]] = cv
+		spreadOf[row[0]] = cellF(t, tb, i, 3)
+	}
+	// Round-robin and least-used are tightly balanced; random is the
+	// loosest.
+	if cvOf["round-robin"] > 0.05 {
+		t.Fatalf("round-robin cv=%v, want ~0", cvOf["round-robin"])
+	}
+	if cvOf["least-used"] > 0.1 {
+		t.Fatalf("least-used cv=%v, want near 0", cvOf["least-used"])
+	}
+	if cvOf["random"] <= cvOf["round-robin"] {
+		t.Fatal("random should be less balanced than round-robin")
+	}
+	// Zone-aware achieves full zone spread.
+	if spreadOf["zone-aware"] != 100 {
+		t.Fatalf("zone-aware spread=%v", spreadOf["zone-aware"])
+	}
+}
+
+func TestAB2CacheLossMonotone(t *testing.T) {
+	tb := AB2(Scale{Quick: true})
+	if len(tb.Rows) != 9 {
+		t.Fatalf("rows=%d", len(tb.Rows))
+	}
+	// For a fixed flush cadence, bigger caches never lose more.
+	lossAt := func(cap, flush string) float64 {
+		for i, row := range tb.Rows {
+			if row[0] == cap && row[1] == flush {
+				return cellF(t, tb, i, 4)
+			}
+		}
+		t.Fatalf("row %s/%s missing", cap, flush)
+		return 0
+	}
+	for _, flush := range []string{"512", "4096", "32768"} {
+		small := lossAt("1024", flush)
+		big := lossAt("65536", flush)
+		if big > small {
+			t.Fatalf("flush=%s: bigger cache lost more (%v > %v)", flush, big, small)
+		}
+	}
+	// A 64 Ki cache flushed every 512 records loses nothing.
+	if l := lossAt("65536", "512"); l != 0 {
+		t.Fatalf("oversized cache still lost %v%%", l)
+	}
+}
+
+func TestAB3StructuralSharing(t *testing.T) {
+	tb := AB3(Scale{Quick: true})
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows=%d", len(tb.Rows))
+	}
+	// nodes-per-chunk amortizes as the span grows: the path-copy cost is
+	// shared over more leaves.
+	first, err := strconv.ParseFloat(strings.TrimSpace(tb.Cell(0, 2)), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := strconv.ParseFloat(strings.TrimSpace(tb.Cell(len(tb.Rows)-1, 2)), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last >= first {
+		t.Fatalf("no amortization: per-chunk cost %v → %v", first, last)
+	}
+	// Single-chunk writes cost O(depth): bounded by ~25 nodes for a 2^20
+	// span tree.
+	nodes := cellF(t, tb, 0, 1)
+	if nodes > 30 {
+		t.Fatalf("single-chunk write created %v nodes", nodes)
+	}
+}

@@ -1,0 +1,113 @@
+package instrument
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func ev(op Op) Event {
+	return Event{Time: time.Unix(0, 0), Actor: ActorProvider, Node: "p1", Op: op}
+}
+
+func TestTapFansOut(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	tap := NewTap(a, b)
+	tap.Emit(ev(OpStore))
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("a=%d b=%d", a.Len(), b.Len())
+	}
+}
+
+func TestTapAttach(t *testing.T) {
+	tap := NewTap()
+	tap.Emit(ev(OpStore)) // no subscribers: must not panic
+	r := &Recorder{}
+	tap.Attach(r)
+	tap.Attach(nil) // ignored
+	tap.Emit(ev(OpFetch))
+	if r.Len() != 1 {
+		t.Fatalf("len=%d", r.Len())
+	}
+}
+
+func TestNewTapSkipsNil(t *testing.T) {
+	r := &Recorder{}
+	tap := NewTap(nil, r, nil)
+	tap.Emit(ev(OpStore))
+	if r.Len() != 1 {
+		t.Fatalf("len=%d", r.Len())
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	r := &Recorder{}
+	r.Emit(ev(OpStore))
+	r.Emit(ev(OpFetch))
+	r.Emit(ev(OpStore))
+	got := r.Filter(func(e Event) bool { return e.Op == OpStore })
+	if len(got) != 2 {
+		t.Fatalf("filtered=%d", len(got))
+	}
+}
+
+func TestCounts(t *testing.T) {
+	c := NewCounts()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Emit(ev(OpStore))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get(OpStore) != 400 {
+		t.Fatalf("count=%d", c.Get(OpStore))
+	}
+	snap := c.Snapshot()
+	if snap[OpStore] != 400 || len(snap) != 1 {
+		t.Fatalf("snapshot=%v", snap)
+	}
+}
+
+func TestEventOK(t *testing.T) {
+	e := ev(OpStore)
+	if !e.OK() {
+		t.Fatal("event without Err should be OK")
+	}
+	e.Err = "disk full"
+	if e.OK() {
+		t.Fatal("event with Err should not be OK")
+	}
+}
+
+func TestNopAndFunc(t *testing.T) {
+	Nop{}.Emit(ev(OpStore)) // must not panic
+	var got Event
+	Func(func(e Event) { got = e }).Emit(ev(OpFetch))
+	if got.Op != OpFetch {
+		t.Fatalf("func emitter got %v", got.Op)
+	}
+}
+
+func TestTapConcurrentEmitAttach(t *testing.T) {
+	tap := NewTap(&Recorder{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			tap.Emit(ev(OpStore))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			tap.Attach(&Recorder{})
+		}
+	}()
+	wg.Wait()
+}

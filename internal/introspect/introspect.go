@@ -1,0 +1,525 @@
+// Package introspect implements the paper's introspection layer: it
+// processes the data received from the monitoring layer through data
+// filters, aggregates BlobSeer-specific information under a flexible
+// storage schema on distributed storage servers (fronted by a cache that
+// absorbs monitoring bursts), and exposes the higher-level state that the
+// self-* components consume: provider storage space and load, BLOB access
+// patterns, and system-wide aggregates.
+package introspect
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"blobseer/internal/instrument"
+	"blobseer/internal/metrics"
+	"blobseer/internal/monitor"
+)
+
+// BurstCache is the bounded write-behind buffer that sits in front of
+// each storage server so it can cope with bursts of monitoring data when
+// the system is under heavy load. Overflowing records are dropped and
+// counted (monitoring data is lossy by design; the paper's cache bounds
+// memory, not loss).
+type BurstCache struct {
+	mu      sync.Mutex
+	cap     int
+	buf     []monitor.Record
+	dropped int64
+}
+
+// NewBurstCache returns a cache bounded to capacity records (≤0 = 8192).
+func NewBurstCache(capacity int) *BurstCache {
+	if capacity <= 0 {
+		capacity = 8192
+	}
+	return &BurstCache{cap: capacity}
+}
+
+// Add buffers records, returning how many were accepted.
+func (c *BurstCache) Add(recs []monitor.Record) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	room := c.cap - len(c.buf)
+	if room <= 0 {
+		c.dropped += int64(len(recs))
+		return 0
+	}
+	n := len(recs)
+	if n > room {
+		c.dropped += int64(n - room)
+		n = room
+	}
+	c.buf = append(c.buf, recs[:n]...)
+	return n
+}
+
+// Drain removes and returns all buffered records.
+func (c *BurstCache) Drain() []monitor.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.buf
+	c.buf = nil
+	return out
+}
+
+// Len returns the number of buffered records.
+func (c *BurstCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
+}
+
+// Dropped returns the number of records lost to overflow.
+func (c *BurstCache) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// StorageServer is one introspection storage server: a cache-fronted
+// store of parameter time series keyed by node/param.
+type StorageServer struct {
+	id    string
+	cache *BurstCache
+
+	mu     sync.Mutex
+	series map[string]*metrics.TimeSeries
+	bound  int
+}
+
+// NewStorageServer returns a server whose cache holds cacheCap records
+// and whose series retain up to seriesCap points each.
+func NewStorageServer(id string, cacheCap, seriesCap int) *StorageServer {
+	return &StorageServer{
+		id:     id,
+		cache:  NewBurstCache(cacheCap),
+		series: make(map[string]*metrics.TimeSeries),
+		bound:  seriesCap,
+	}
+}
+
+// ID returns the server identity.
+func (s *StorageServer) ID() string { return s.id }
+
+// Consume implements monitor.Subscriber: records land in the burst cache.
+func (s *StorageServer) Consume(recs []monitor.Record) { s.cache.Add(recs) }
+
+// Flush drains the cache into the persistent series (called periodically;
+// the flush cadence is the knob the burst-cache ablation sweeps).
+func (s *StorageServer) Flush() int {
+	recs := s.cache.Drain()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		key := r.Node + "/" + r.Param
+		ts, ok := s.series[key]
+		if !ok {
+			ts = metrics.NewTimeSeries(s.bound)
+			s.series[key] = ts
+		}
+		ts.Add(r.Time, r.Value)
+	}
+	return len(recs)
+}
+
+// Series returns the stored series for node/param, or nil.
+func (s *StorageServer) Series(node, param string) *metrics.TimeSeries {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.series[node+"/"+param]
+}
+
+// ParamCount returns the number of stored series.
+func (s *StorageServer) ParamCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.series)
+}
+
+// Cache exposes the server's burst cache (tests, ablations).
+func (s *StorageServer) Cache() *BurstCache { return s.cache }
+
+// Cluster shards records across storage servers by node hash and
+// implements monitor.Subscriber.
+type Cluster struct {
+	servers []*StorageServer
+}
+
+// NewCluster creates n storage servers (names ss0..).
+func NewCluster(n, cacheCap, seriesCap int) *Cluster {
+	if n <= 0 {
+		n = 1
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		c.servers = append(c.servers, NewStorageServer(fmt.Sprintf("ss%d", i), cacheCap, seriesCap))
+	}
+	return c
+}
+
+// Servers returns the cluster's storage servers.
+func (c *Cluster) Servers() []*StorageServer { return c.servers }
+
+// Consume implements monitor.Subscriber.
+func (c *Cluster) Consume(recs []monitor.Record) {
+	if len(c.servers) == 1 {
+		c.servers[0].Consume(recs)
+		return
+	}
+	buckets := make([][]monitor.Record, len(c.servers))
+	for _, r := range recs {
+		h := fnv.New32a()
+		h.Write([]byte(r.Node))
+		i := int(h.Sum32()) % len(c.servers)
+		buckets[i] = append(buckets[i], r)
+	}
+	for i, b := range buckets {
+		if len(b) > 0 {
+			c.servers[i].Consume(b)
+		}
+	}
+}
+
+// FlushAll flushes every server and reports total records persisted.
+func (c *Cluster) FlushAll() int {
+	var n int
+	for _, s := range c.servers {
+		n += s.Flush()
+	}
+	return n
+}
+
+// ParamCount sums series counts across servers.
+func (c *Cluster) ParamCount() int {
+	var n int
+	for _, s := range c.servers {
+		n += s.ParamCount()
+	}
+	return n
+}
+
+// Dropped sums cache drops across servers.
+func (c *Cluster) Dropped() int64 {
+	var n int64
+	for _, s := range c.servers {
+		n += s.Cache().Dropped()
+	}
+	return n
+}
+
+// AccessStats aggregates the access pattern of one BLOB.
+type AccessStats struct {
+	Blob         uint64
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+	LastAccess   time.Time
+	Users        map[string]int64 // ops per user
+}
+
+func (a *AccessStats) clone() AccessStats {
+	out := *a
+	out.Users = make(map[string]int64, len(a.Users))
+	for k, v := range a.Users {
+		out.Users[k] = v
+	}
+	return out
+}
+
+// ProviderState is the introspection view of one provider.
+type ProviderState struct {
+	Node      string
+	Space     float64 // latest disk_space sample (bytes)
+	CPULoad   float64 // EWMA
+	ActiveAvg float64 // EWMA of concurrent transfers
+	LastSeen  time.Time
+}
+
+// Introspector is the query front of the introspection layer. It
+// subscribes to the monitoring mesh and maintains the aggregates that the
+// visualization tool and the self-* engines read.
+type Introspector struct {
+	mu        sync.Mutex
+	providers map[string]*providerAgg
+	blobs     map[uint64]*AccessStats
+	loadHL    time.Duration
+	thrTS     *metrics.TimeSeries // system write throughput samples (bytes)
+}
+
+type providerAgg struct {
+	space    float64
+	cpu      *metrics.EWMA
+	active   *metrics.EWMA
+	lastSeen time.Time
+}
+
+// NewIntrospector returns an empty introspector. loadHalfLife tunes how
+// fast load signals decay (default 30 s).
+func NewIntrospector(loadHalfLife time.Duration) *Introspector {
+	if loadHalfLife <= 0 {
+		loadHalfLife = 30 * time.Second
+	}
+	return &Introspector{
+		providers: make(map[string]*providerAgg),
+		blobs:     make(map[uint64]*AccessStats),
+		loadHL:    loadHalfLife,
+		thrTS:     metrics.NewTimeSeries(1 << 16),
+	}
+}
+
+// Consume implements monitor.Subscriber.
+func (in *Introspector) Consume(recs []monitor.Record) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range recs {
+		switch r.Param {
+		case string(instrument.OpDiskSpace):
+			in.prov(r.Node).space = r.Value
+			in.prov(r.Node).lastSeen = r.Time
+		case string(instrument.OpCPULoad):
+			in.prov(r.Node).cpu.Observe(r.Time, r.Value)
+			in.prov(r.Node).lastSeen = r.Time
+		case string(instrument.OpActiveConn):
+			in.prov(r.Node).active.Observe(r.Time, r.Value)
+			in.prov(r.Node).lastSeen = r.Time
+		case "write", "append":
+			in.thrTS.Add(r.Time, r.Value)
+		}
+	}
+}
+
+// ObserveClientEvent feeds client-side events directly (the introspection
+// layer also aggregates BLOB access patterns, which carry blob IDs only
+// on the client path).
+func (in *Introspector) ObserveClientEvent(ev instrument.Event) {
+	if ev.Err != "" {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st, ok := in.blobs[ev.Blob]
+	if !ok {
+		st = &AccessStats{Blob: ev.Blob, Users: make(map[string]int64)}
+		in.blobs[ev.Blob] = st
+	}
+	switch ev.Op {
+	case instrument.OpRead:
+		st.Reads++
+		st.BytesRead += ev.Bytes
+	case instrument.OpWrite, instrument.OpAppend:
+		st.Writes++
+		st.BytesWritten += ev.Bytes
+	default:
+		return
+	}
+	st.LastAccess = ev.Time
+	if ev.User != "" {
+		st.Users[ev.User]++
+	}
+}
+
+// Emit implements instrument.Emitter so the introspector can tap client
+// emitters directly.
+func (in *Introspector) Emit(ev instrument.Event) {
+	if ev.Actor == instrument.ActorClient {
+		in.ObserveClientEvent(ev)
+	}
+}
+
+func (in *Introspector) prov(node string) *providerAgg {
+	p, ok := in.providers[node]
+	if !ok {
+		p = &providerAgg{cpu: metrics.NewEWMA(in.loadHL), active: metrics.NewEWMA(in.loadHL)}
+		in.providers[node] = p
+	}
+	return p
+}
+
+// Provider returns the introspection state of one provider.
+func (in *Introspector) Provider(node string) (ProviderState, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	p, ok := in.providers[node]
+	if !ok {
+		return ProviderState{}, false
+	}
+	return ProviderState{
+		Node: node, Space: p.space, CPULoad: p.cpu.Value(),
+		ActiveAvg: p.active.Value(), LastSeen: p.lastSeen,
+	}, true
+}
+
+// Providers returns all provider states sorted by node.
+func (in *Introspector) Providers() []ProviderState {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]ProviderState, 0, len(in.providers))
+	for node, p := range in.providers {
+		out = append(out, ProviderState{
+			Node: node, Space: p.space, CPULoad: p.cpu.Value(),
+			ActiveAvg: p.active.Value(), LastSeen: p.lastSeen,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// SystemStorage sums the latest disk-space samples (total stored bytes).
+func (in *Introspector) SystemStorage() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var sum float64
+	for _, p := range in.providers {
+		sum += p.space
+	}
+	return sum
+}
+
+// MeanLoad returns the mean EWMA of concurrent transfers across providers
+// — the elasticity controller's input signal.
+func (in *Introspector) MeanLoad() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.providers) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range in.providers {
+		sum += p.active.Value()
+	}
+	return sum / float64(len(in.providers))
+}
+
+// Blob returns the access stats of one BLOB.
+func (in *Introspector) Blob(blob uint64) (AccessStats, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st, ok := in.blobs[blob]
+	if !ok {
+		return AccessStats{}, false
+	}
+	return st.clone(), true
+}
+
+// HotBlobs returns up to k BLOBs by total access count, hottest first —
+// the replication manager's signal for raising replication degrees.
+func (in *Introspector) HotBlobs(k int) []AccessStats {
+	in.mu.Lock()
+	all := make([]AccessStats, 0, len(in.blobs))
+	for _, st := range in.blobs {
+		all = append(all, st.clone())
+	}
+	in.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		ai, aj := all[i].Reads+all[i].Writes, all[j].Reads+all[j].Writes
+		if ai != aj {
+			return ai > aj
+		}
+		return all[i].Blob < all[j].Blob
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// ColdBlobs returns BLOBs whose last access is before the cutoff — the
+// removal strategies' candidate set.
+func (in *Introspector) ColdBlobs(cutoff time.Time) []AccessStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []AccessStats
+	for _, st := range in.blobs {
+		if st.LastAccess.Before(cutoff) {
+			out = append(out, st.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Blob < out[j].Blob })
+	return out
+}
+
+// WriteThroughput returns the mean system write throughput in bytes/s
+// over [now-window, now], from the write-bytes samples.
+func (in *Introspector) WriteThroughput(now time.Time, window time.Duration) float64 {
+	in.mu.Lock()
+	pts := in.thrTS.Since(now.Add(-window))
+	in.mu.Unlock()
+	if window <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pts {
+		if !p.Time.After(now) {
+			sum += p.Value
+		}
+	}
+	return sum / window.Seconds()
+}
+
+// UserActivityFilter is a monitor.Filter that keeps only user-attributed
+// records — the feed for the User Activity History module.
+type UserActivityFilter struct{}
+
+// Name implements monitor.Filter.
+func (UserActivityFilter) Name() string { return "user-activity" }
+
+// Process implements monitor.Filter.
+func (UserActivityFilter) Process(events []instrument.Event) []monitor.Record {
+	var out []monitor.Record
+	for _, ev := range events {
+		if ev.User == "" {
+			continue
+		}
+		out = append(out, monitor.EventRecord(ev))
+	}
+	return out
+}
+
+// ProviderLoadFilter is a monitor.Filter that aggregates a batch's
+// provider activity into one record per node: the sum of transferred
+// bytes (reduces monitoring volume on the wire, as the paper's filters
+// do at the monitoring services).
+type ProviderLoadFilter struct{}
+
+// Name implements monitor.Filter.
+func (ProviderLoadFilter) Name() string { return "provider-load" }
+
+// Process implements monitor.Filter.
+func (ProviderLoadFilter) Process(events []instrument.Event) []monitor.Record {
+	type agg struct {
+		bytes float64
+		last  time.Time
+	}
+	sums := map[string]*agg{}
+	for _, ev := range events {
+		if ev.Actor != instrument.ActorProvider || (ev.Op != instrument.OpStore && ev.Op != instrument.OpFetch) {
+			continue
+		}
+		a, ok := sums[ev.Node]
+		if !ok {
+			a = &agg{}
+			sums[ev.Node] = a
+		}
+		a.bytes += float64(ev.Bytes)
+		if ev.Time.After(a.last) {
+			a.last = ev.Time
+		}
+	}
+	nodes := make([]string, 0, len(sums))
+	for n := range sums {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	out := make([]monitor.Record, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, monitor.Record{
+			Time: sums[n].last, Node: n, Param: "xfer_bytes", Value: sums[n].bytes,
+		})
+	}
+	return out
+}

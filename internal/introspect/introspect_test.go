@@ -1,0 +1,255 @@
+package introspect
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"blobseer/internal/instrument"
+	"blobseer/internal/monitor"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(s int) time.Time { return t0.Add(time.Duration(s) * time.Second) }
+
+func rec(node, param string, v float64, ti time.Time) monitor.Record {
+	return monitor.Record{Time: ti, Node: node, Param: param, Value: v}
+}
+
+func TestBurstCacheAcceptsUpToCap(t *testing.T) {
+	c := NewBurstCache(5)
+	recs := make([]monitor.Record, 3)
+	if n := c.Add(recs); n != 3 {
+		t.Fatalf("accepted=%d", n)
+	}
+	if n := c.Add(recs); n != 2 {
+		t.Fatalf("accepted=%d, want 2 (overflow)", n)
+	}
+	if c.Dropped() != 1 || c.Len() != 5 {
+		t.Fatalf("dropped=%d len=%d", c.Dropped(), c.Len())
+	}
+	if n := c.Add(recs); n != 0 {
+		t.Fatalf("accepted=%d after full", n)
+	}
+	if c.Dropped() != 4 {
+		t.Fatalf("dropped=%d", c.Dropped())
+	}
+}
+
+func TestBurstCacheDrain(t *testing.T) {
+	c := NewBurstCache(10)
+	c.Add(make([]monitor.Record, 4))
+	got := c.Drain()
+	if len(got) != 4 || c.Len() != 0 {
+		t.Fatalf("drain=%d len=%d", len(got), c.Len())
+	}
+	// After drain there is room again.
+	if n := c.Add(make([]monitor.Record, 10)); n != 10 {
+		t.Fatalf("post-drain accepted=%d", n)
+	}
+}
+
+func TestStorageServerFlushPersists(t *testing.T) {
+	s := NewStorageServer("ss0", 100, 100)
+	s.Consume([]monitor.Record{rec("p1", "disk_space", 42, at(0))})
+	if s.ParamCount() != 0 {
+		t.Fatal("persisted before flush")
+	}
+	if n := s.Flush(); n != 1 {
+		t.Fatalf("flushed=%d", n)
+	}
+	ts := s.Series("p1", "disk_space")
+	if ts == nil || ts.Len() != 1 {
+		t.Fatal("series missing")
+	}
+}
+
+func TestClusterShardsByNode(t *testing.T) {
+	c := NewCluster(4, 100, 100)
+	var recs []monitor.Record
+	for i := 0; i < 40; i++ {
+		recs = append(recs, rec(fmt.Sprintf("p%d", i), "x", 1, at(0)))
+	}
+	c.Consume(recs)
+	if n := c.FlushAll(); n != 40 {
+		t.Fatalf("flushed=%d", n)
+	}
+	if c.ParamCount() != 40 {
+		t.Fatalf("params=%d", c.ParamCount())
+	}
+	// Same node always lands on the same server.
+	c2 := NewCluster(4, 100, 100)
+	c2.Consume([]monitor.Record{rec("p7", "a", 1, at(0))})
+	c2.Consume([]monitor.Record{rec("p7", "b", 1, at(1))})
+	c2.FlushAll()
+	var hosting int
+	for _, s := range c2.Servers() {
+		if s.ParamCount() > 0 {
+			hosting++
+		}
+	}
+	if hosting != 1 {
+		t.Fatalf("node split across %d servers", hosting)
+	}
+}
+
+func TestClusterDropped(t *testing.T) {
+	c := NewCluster(1, 2, 100)
+	c.Consume(make([]monitor.Record, 10))
+	if c.Dropped() != 8 {
+		t.Fatalf("dropped=%d", c.Dropped())
+	}
+}
+
+func TestIntrospectorProviderState(t *testing.T) {
+	in := NewIntrospector(0)
+	in.Consume([]monitor.Record{
+		rec("p1", "disk_space", 1000, at(0)),
+		rec("p1", "cpu_load", 0.5, at(0)),
+		rec("p1", "active_conn", 4, at(0)),
+		rec("p2", "disk_space", 500, at(0)),
+	})
+	st, ok := in.Provider("p1")
+	if !ok || st.Space != 1000 || st.CPULoad != 0.5 || st.ActiveAvg != 4 {
+		t.Fatalf("state=%+v ok=%v", st, ok)
+	}
+	if _, ok := in.Provider("nope"); ok {
+		t.Fatal("unknown provider reported")
+	}
+	if got := in.SystemStorage(); got != 1500 {
+		t.Fatalf("system storage=%v", got)
+	}
+	if got := in.MeanLoad(); got != 2 {
+		t.Fatalf("mean load=%v", got)
+	}
+	all := in.Providers()
+	if len(all) != 2 || all[0].Node != "p1" {
+		t.Fatalf("providers=%v", all)
+	}
+}
+
+func TestIntrospectorEmptyAggregates(t *testing.T) {
+	in := NewIntrospector(0)
+	if in.MeanLoad() != 0 || in.SystemStorage() != 0 {
+		t.Fatal("empty aggregates nonzero")
+	}
+}
+
+func clientEv(op instrument.Op, blob uint64, user string, bytes int64, ti time.Time) instrument.Event {
+	return instrument.Event{
+		Time: ti, Actor: instrument.ActorClient, Op: op, Blob: blob, User: user, Bytes: bytes,
+	}
+}
+
+func TestIntrospectorBlobAccess(t *testing.T) {
+	in := NewIntrospector(0)
+	in.Emit(clientEv(instrument.OpWrite, 1, "alice", 100, at(0)))
+	in.Emit(clientEv(instrument.OpRead, 1, "bob", 50, at(1)))
+	in.Emit(clientEv(instrument.OpRead, 2, "bob", 10, at(2)))
+	failed := clientEv(instrument.OpWrite, 1, "eve", 10, at(3))
+	failed.Err = "blocked"
+	in.Emit(failed) // failures are not access
+
+	st, ok := in.Blob(1)
+	if !ok || st.Reads != 1 || st.Writes != 1 || st.BytesRead != 50 || st.BytesWritten != 100 {
+		t.Fatalf("blob1=%+v", st)
+	}
+	if st.Users["alice"] != 1 || st.Users["bob"] != 1 || st.Users["eve"] != 0 {
+		t.Fatalf("users=%v", st.Users)
+	}
+	if st.LastAccess != at(1) {
+		t.Fatalf("last=%v", st.LastAccess)
+	}
+}
+
+func TestHotAndColdBlobs(t *testing.T) {
+	in := NewIntrospector(0)
+	for i := 0; i < 5; i++ {
+		in.Emit(clientEv(instrument.OpRead, 1, "u", 1, at(i)))
+	}
+	in.Emit(clientEv(instrument.OpRead, 2, "u", 1, at(10)))
+	hot := in.HotBlobs(1)
+	if len(hot) != 1 || hot[0].Blob != 1 {
+		t.Fatalf("hot=%v", hot)
+	}
+	cold := in.ColdBlobs(at(8))
+	if len(cold) != 1 || cold[0].Blob != 1 {
+		t.Fatalf("cold=%v", cold)
+	}
+	if got := in.HotBlobs(0); len(got) != 2 {
+		t.Fatalf("unbounded hot=%d", len(got))
+	}
+}
+
+func TestWriteThroughput(t *testing.T) {
+	in := NewIntrospector(0)
+	// 10 writes of 100 bytes over 10 s → 100 B/s over that window.
+	var recs []monitor.Record
+	for i := 0; i < 10; i++ {
+		recs = append(recs, rec("c1", "write", 100, at(i)))
+	}
+	in.Consume(recs)
+	got := in.WriteThroughput(at(9), 10*time.Second)
+	if got != 100 {
+		t.Fatalf("throughput=%v", got)
+	}
+	if in.WriteThroughput(at(9), 0) != 0 {
+		t.Fatal("zero window should be 0")
+	}
+}
+
+func TestUserActivityFilter(t *testing.T) {
+	f := UserActivityFilter{}
+	out := f.Process([]instrument.Event{
+		{Time: at(0), User: "u", Op: instrument.OpWrite, Bytes: 10},
+		{Time: at(0), Op: instrument.OpHeartbeat},
+	})
+	if len(out) != 1 || out[0].User != "u" {
+		t.Fatalf("out=%v", out)
+	}
+}
+
+func TestProviderLoadFilterAggregates(t *testing.T) {
+	f := ProviderLoadFilter{}
+	out := f.Process([]instrument.Event{
+		{Time: at(0), Actor: instrument.ActorProvider, Node: "p1", Op: instrument.OpStore, Bytes: 100},
+		{Time: at(1), Actor: instrument.ActorProvider, Node: "p1", Op: instrument.OpFetch, Bytes: 50},
+		{Time: at(1), Actor: instrument.ActorProvider, Node: "p2", Op: instrument.OpStore, Bytes: 7},
+		{Time: at(1), Actor: instrument.ActorClient, Node: "c1", Op: instrument.OpWrite, Bytes: 999},
+	})
+	if len(out) != 2 {
+		t.Fatalf("out=%v", out)
+	}
+	if out[0].Node != "p1" || out[0].Value != 150 || out[0].Param != "xfer_bytes" {
+		t.Fatalf("p1 agg=%+v", out[0])
+	}
+	if out[1].Node != "p2" || out[1].Value != 7 {
+		t.Fatalf("p2 agg=%+v", out[1])
+	}
+	if out[0].Time != at(1) {
+		t.Fatalf("agg time=%v", out[0].Time)
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	// instrumentation → agent → service → (introspector + cluster)
+	mesh := monitor.NewMesh(2, 0)
+	in := NewIntrospector(0)
+	cluster := NewCluster(2, 1000, 100)
+	mesh.Subscribe(in)
+	mesh.Subscribe(cluster)
+
+	agent := mesh.NewAgent("p1", 1)
+	agent.Emit(instrument.Event{
+		Time: at(0), Actor: instrument.ActorProvider, Node: "p1",
+		Op: instrument.OpDiskSpace, Value: 12345,
+	})
+	st, ok := in.Provider("p1")
+	if !ok || st.Space != 12345 {
+		t.Fatalf("introspector did not see the sample: %+v %v", st, ok)
+	}
+	if cluster.FlushAll() != 1 {
+		t.Fatal("cluster did not buffer the record")
+	}
+}

@@ -1,0 +1,353 @@
+// Package metrics provides the small time-series and statistics substrate
+// shared by the introspection layer, the self-* controllers and the cloud
+// simulator: bounded time series, counters, gauges, EWMAs, histograms and
+// percentile summaries.
+//
+// All timestamps are explicit (time.Time arguments) so the same code runs
+// unchanged under real time and under the simulator's virtual clock.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one sample in a time series.
+type Point struct {
+	Time  time.Time
+	Value float64
+}
+
+// TimeSeries is a bounded, append-only series of samples. It is safe for
+// concurrent use. When the bound is exceeded the oldest half is dropped,
+// keeping appends amortized O(1).
+type TimeSeries struct {
+	mu    sync.Mutex
+	max   int
+	data  []Point
+	total int64
+}
+
+// NewTimeSeries returns a series bounded to max points (max ≤ 0 means a
+// default of 4096).
+func NewTimeSeries(max int) *TimeSeries {
+	if max <= 0 {
+		max = 4096
+	}
+	return &TimeSeries{max: max}
+}
+
+// Add appends a sample.
+func (ts *TimeSeries) Add(t time.Time, v float64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.total++
+	if len(ts.data) >= ts.max {
+		half := len(ts.data) / 2
+		copy(ts.data, ts.data[half:])
+		ts.data = ts.data[:len(ts.data)-half]
+	}
+	ts.data = append(ts.data, Point{t, v})
+}
+
+// Len returns the number of retained points.
+func (ts *TimeSeries) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.data)
+}
+
+// Total returns the number of points ever added, including evicted ones.
+func (ts *TimeSeries) Total() int64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.total
+}
+
+// Points returns a copy of the retained points in time order of insertion.
+func (ts *TimeSeries) Points() []Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return append([]Point(nil), ts.data...)
+}
+
+// Since returns a copy of the points with Time ≥ t0.
+func (ts *TimeSeries) Since(t0 time.Time) []Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	i := sort.Search(len(ts.data), func(i int) bool { return !ts.data[i].Time.Before(t0) })
+	return append([]Point(nil), ts.data[i:]...)
+}
+
+// Last returns the most recent point, or false when empty.
+func (ts *TimeSeries) Last() (Point, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.data) == 0 {
+		return Point{}, false
+	}
+	return ts.data[len(ts.data)-1], true
+}
+
+// Stats summarizes a slice of samples.
+type Stats struct {
+	Count          int
+	Min, Max, Mean float64
+	Sum            float64
+	StdDev         float64
+}
+
+// Summarize computes summary statistics over points.
+func Summarize(pts []Point) Stats {
+	var s Stats
+	if len(pts) == 0 {
+		return s
+	}
+	s.Count = len(pts)
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	for _, p := range pts {
+		s.Sum += p.Value
+		if p.Value < s.Min {
+			s.Min = p.Value
+		}
+		if p.Value > s.Max {
+			s.Max = p.Value
+		}
+	}
+	s.Mean = s.Sum / float64(s.Count)
+	var ss float64
+	for _, p := range pts {
+		d := p.Value - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.Count))
+	return s
+}
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add increments the counter by d (d may not be negative).
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic("metrics: negative Counter.Add")
+	}
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a settable instantaneous value safe for concurrent use.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// EWMA is an exponentially weighted moving average over irregularly
+// sampled observations. The half-life controls how fast old samples decay.
+type EWMA struct {
+	mu       sync.Mutex
+	halfLife time.Duration
+	value    float64
+	last     time.Time
+	seeded   bool
+}
+
+// NewEWMA returns an EWMA with the given half-life (must be positive).
+func NewEWMA(halfLife time.Duration) *EWMA {
+	if halfLife <= 0 {
+		panic("metrics: EWMA half-life must be positive")
+	}
+	return &EWMA{halfLife: halfLife}
+}
+
+// Observe folds a new sample taken at time t into the average.
+func (e *EWMA) Observe(t time.Time, v float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.seeded {
+		e.value, e.last, e.seeded = v, t, true
+		return
+	}
+	dt := t.Sub(e.last)
+	if dt < 0 {
+		dt = 0
+	}
+	w := math.Exp2(-float64(dt) / float64(e.halfLife))
+	e.value = w*e.value + (1-w)*v
+	e.last = t
+}
+
+// Value returns the current average (zero before any observation).
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}
+
+// Histogram counts observations into fixed buckets defined by their upper
+// bounds; values above the last bound land in an overflow bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// NewHistogram returns a histogram with the given strictly increasing
+// upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not increasing at %d", i))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the mean of all observations (zero when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Buckets returns copies of the bounds and counts (counts has one extra
+// trailing overflow bucket).
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...), append([]int64(nil), h.counts...)
+}
+
+// Quantile returns an estimate of quantile q (0 ≤ q ≤ 1) assuming a
+// uniform distribution within buckets. The overflow bucket reports the
+// last bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	var cum float64
+	lo := 0.0
+	for i, c := range h.counts {
+		fc := float64(c)
+		var hi float64
+		if i < len(h.bounds) {
+			hi = h.bounds[i]
+		} else {
+			return h.bounds[len(h.bounds)-1]
+		}
+		if cum+fc >= target && fc > 0 {
+			frac := (target - cum) / fc
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += fc
+		lo = hi
+	}
+	return lo
+}
+
+// Percentile returns the p-th percentile (0–100) of a value slice using
+// nearest-rank on a sorted copy. It returns 0 for an empty slice.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// Rate computes the average per-second rate of a counter-like series
+// between the first and last points of pts: (vN - v0) / (tN - t0).
+func Rate(pts []Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	dt := pts[len(pts)-1].Time.Sub(pts[0].Time).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return (pts[len(pts)-1].Value - pts[0].Value) / dt
+}

@@ -1,0 +1,220 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"blobseer/internal/instrument"
+)
+
+// Enforcement errors, surfaced on the data path through the Gatekeeper.
+var (
+	ErrBlocked   = errors.New("policy: user blocked")
+	ErrThrottled = errors.New("policy: user throttled")
+)
+
+// Enforcer is the Policy Enforcement component: it applies the graded
+// feedback actions (log, alert, throttle, block, quarantine) and exposes
+// the client.Gatekeeper admission check so enforcement takes effect on
+// BlobSeer's data path. Quarantine is an indefinite block.
+type Enforcer struct {
+	emit instrument.Emitter
+	now  func() time.Time
+
+	mu        sync.Mutex
+	blocked   map[string]time.Time // user → expiry (zero time = forever)
+	throttled map[string]*bucket
+	log       []Violation
+	alerts    []Violation
+	blocks    int64
+	unblocks  int64
+}
+
+type bucket struct {
+	rps    float64
+	tokens float64
+	last   time.Time
+}
+
+// EnforcerOption configures an Enforcer.
+type EnforcerOption func(*Enforcer)
+
+// WithEmitter attaches instrumentation.
+func WithEmitter(e instrument.Emitter) EnforcerOption {
+	return func(en *Enforcer) {
+		if e != nil {
+			en.emit = e
+		}
+	}
+}
+
+// WithClock overrides the time source.
+func WithClock(now func() time.Time) EnforcerOption {
+	return func(en *Enforcer) {
+		if now != nil {
+			en.now = now
+		}
+	}
+}
+
+// NewEnforcer returns an enforcer with no restrictions.
+func NewEnforcer(opts ...EnforcerOption) *Enforcer {
+	en := &Enforcer{
+		emit:      instrument.Nop{},
+		now:       time.Now,
+		blocked:   make(map[string]time.Time),
+		throttled: make(map[string]*bucket),
+	}
+	for _, o := range opts {
+		o(en)
+	}
+	return en
+}
+
+// Allow implements client.Gatekeeper: blocked users are rejected,
+// throttled users are rejected above their admitted rate.
+func (en *Enforcer) Allow(user string, op instrument.Op) error {
+	now := en.now()
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	if until, ok := en.blocked[user]; ok {
+		if until.IsZero() || now.Before(until) {
+			return fmt.Errorf("%w: %s", ErrBlocked, user)
+		}
+		delete(en.blocked, user)
+		en.unblocks++
+		en.emit.Emit(instrument.Event{
+			Time: now, Actor: instrument.ActorSecurity, User: user, Op: instrument.OpUnblock,
+		})
+	}
+	if b, ok := en.throttled[user]; ok {
+		b.tokens += now.Sub(b.last).Seconds() * b.rps
+		if b.tokens > b.rps {
+			b.tokens = b.rps // burst cap of one second
+		}
+		b.last = now
+		if b.tokens < 1 {
+			return fmt.Errorf("%w: %s", ErrThrottled, user)
+		}
+		b.tokens--
+	}
+	return nil
+}
+
+// Log implements ActionSink.
+func (en *Enforcer) Log(v Violation) {
+	en.mu.Lock()
+	en.log = append(en.log, v)
+	en.mu.Unlock()
+	en.emit.Emit(instrument.Event{
+		Time: v.Time, Actor: instrument.ActorSecurity, User: v.User,
+		Op: instrument.OpViolation, Value: float64(v.Severity),
+	})
+}
+
+// Alert implements ActionSink.
+func (en *Enforcer) Alert(v Violation) {
+	en.mu.Lock()
+	en.alerts = append(en.alerts, v)
+	en.mu.Unlock()
+}
+
+// Block implements ActionSink: the user is rejected until v.Time + d.
+func (en *Enforcer) Block(user string, d time.Duration, v Violation) {
+	en.mu.Lock()
+	until := v.Time.Add(d)
+	if cur, ok := en.blocked[user]; !ok || (!cur.IsZero() && until.After(cur)) {
+		en.blocked[user] = until
+	}
+	en.blocks++
+	en.mu.Unlock()
+	en.emit.Emit(instrument.Event{
+		Time: v.Time, Actor: instrument.ActorSecurity, User: user,
+		Op: instrument.OpBlock, Dur: d,
+	})
+}
+
+// Throttle implements ActionSink: the user is limited to rps admitted
+// operations per second.
+func (en *Enforcer) Throttle(user string, rps float64, v Violation) {
+	if rps <= 0 {
+		rps = 1
+	}
+	en.mu.Lock()
+	en.throttled[user] = &bucket{rps: rps, tokens: rps, last: v.Time}
+	en.mu.Unlock()
+	en.emit.Emit(instrument.Event{
+		Time: v.Time, Actor: instrument.ActorSecurity, User: user,
+		Op: instrument.OpThrottle, Value: rps,
+	})
+}
+
+// Quarantine implements ActionSink: an indefinite block.
+func (en *Enforcer) Quarantine(user string, v Violation) {
+	en.mu.Lock()
+	en.blocked[user] = time.Time{}
+	en.blocks++
+	en.mu.Unlock()
+	en.emit.Emit(instrument.Event{
+		Time: v.Time, Actor: instrument.ActorSecurity, User: user, Op: instrument.OpBlock,
+	})
+}
+
+// Unblock lifts a block manually (administrator action).
+func (en *Enforcer) Unblock(user string) {
+	en.mu.Lock()
+	if _, ok := en.blocked[user]; ok {
+		delete(en.blocked, user)
+		en.unblocks++
+	}
+	en.mu.Unlock()
+	en.emit.Emit(instrument.Event{
+		Time: en.now(), Actor: instrument.ActorSecurity, User: user, Op: instrument.OpUnblock,
+	})
+}
+
+// Blocked reports whether the user is currently blocked.
+func (en *Enforcer) Blocked(user string) bool {
+	now := en.now()
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	until, ok := en.blocked[user]
+	return ok && (until.IsZero() || now.Before(until))
+}
+
+// BlockedUsers lists currently blocked users.
+func (en *Enforcer) BlockedUsers() []string {
+	now := en.now()
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	var out []string
+	for u, until := range en.blocked {
+		if until.IsZero() || now.Before(until) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Violations returns the logged violations.
+func (en *Enforcer) Violations() []Violation {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return append([]Violation(nil), en.log...)
+}
+
+// Alerts returns the raised alerts.
+func (en *Enforcer) Alerts() []Violation {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return append([]Violation(nil), en.alerts...)
+}
+
+// Counters returns (blocks applied, blocks lifted).
+func (en *Enforcer) Counters() (blocks, unblocks int64) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.blocks, en.unblocks
+}

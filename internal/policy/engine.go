@@ -1,0 +1,246 @@
+package policy
+
+import (
+	"sync"
+	"time"
+
+	"blobseer/internal/history"
+)
+
+// Violation records one detected policy violation.
+type Violation struct {
+	Time     time.Time
+	Policy   string
+	User     string
+	Severity Severity
+}
+
+// ActionSink receives the enforcement actions of triggered policies. The
+// Enforcer in this package is the standard sink; the simulator installs
+// its own.
+type ActionSink interface {
+	Log(v Violation)
+	Alert(v Violation)
+	Block(user string, d time.Duration, v Violation)
+	Throttle(user string, rps float64, v Violation)
+	Quarantine(user string, v Violation)
+}
+
+// TrustSource supplies trust values for the trust() aggregator. A nil
+// source yields full trust (1.0) for everyone.
+type TrustSource interface {
+	Value(user string) float64
+}
+
+// HistoryEnv binds the policy language's aggregators to a user activity
+// history and an evaluation instant.
+type HistoryEnv struct {
+	H      *history.History
+	Trusts TrustSource
+	Now    time.Time
+}
+
+// Rate implements Env.
+func (e HistoryEnv) Rate(u, op string, w time.Duration) float64 { return e.H.Rate(u, op, e.Now, w) }
+
+// Count implements Env.
+func (e HistoryEnv) Count(u, op string, w time.Duration) float64 {
+	return float64(e.H.Count(u, op, e.Now, w))
+}
+
+// Bytes implements Env.
+func (e HistoryEnv) Bytes(u, op string, w time.Duration) float64 {
+	return float64(e.H.Bytes(u, op, e.Now, w))
+}
+
+// Failures implements Env.
+func (e HistoryEnv) Failures(u, op string, w time.Duration) float64 {
+	return float64(e.H.Failures(u, op, e.Now, w))
+}
+
+// DistinctBlobs implements Env.
+func (e HistoryEnv) DistinctBlobs(u string, w time.Duration) float64 {
+	return float64(e.H.DistinctBlobs(u, e.Now, w))
+}
+
+// Trust implements Env.
+func (e HistoryEnv) Trust(u string) float64 {
+	if e.Trusts == nil {
+		return 1
+	}
+	return e.Trusts.Value(u)
+}
+
+// Engine is the Security Violation Detection Engine: it periodically
+// scans the activity history, evaluating every policy against every
+// recently active user, and forwards triggered actions to the sink.
+type Engine struct {
+	mu        sync.Mutex
+	policies  []Policy
+	hist      *history.History
+	trust     TrustSource
+	sink      ActionSink
+	cooldown  time.Duration
+	window    time.Duration
+	lastFired map[string]time.Time // key: policy + "\x00" + user
+	detected  map[string]time.Time // first detection per user
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithCooldown sets the per-(policy,user) re-trigger suppression window
+// (default 30 s).
+func WithCooldown(d time.Duration) EngineOption {
+	return func(e *Engine) { e.cooldown = d }
+}
+
+// WithActivityWindow sets how far back a user counts as "active" and is
+// scanned at all (default 60 s).
+func WithActivityWindow(d time.Duration) EngineOption {
+	return func(e *Engine) { e.window = d }
+}
+
+// WithTrust installs a trust source for the trust() aggregator.
+func WithTrust(t TrustSource) EngineOption {
+	return func(e *Engine) { e.trust = t }
+}
+
+// NewEngine returns a detection engine over the given history and
+// policies, forwarding actions to sink.
+func NewEngine(h *history.History, policies []Policy, sink ActionSink, opts ...EngineOption) *Engine {
+	e := &Engine{
+		policies:  policies,
+		hist:      h,
+		sink:      sink,
+		cooldown:  30 * time.Second,
+		window:    60 * time.Second,
+		lastFired: make(map[string]time.Time),
+		detected:  make(map[string]time.Time),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// SetPolicies replaces the policy set at run time (administrators can
+// deploy new policies without restarting the detection engine).
+func (e *Engine) SetPolicies(ps []Policy) {
+	e.mu.Lock()
+	e.policies = ps
+	e.mu.Unlock()
+}
+
+// Policies returns the current policy set.
+func (e *Engine) Policies() []Policy {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Policy(nil), e.policies...)
+}
+
+// Evaluate runs one detection scan at the given instant and returns the
+// violations triggered (after cooldown suppression). Actions have already
+// been forwarded to the sink when it returns.
+func (e *Engine) Evaluate(now time.Time) []Violation {
+	users := e.hist.ActiveUsers(now, e.window)
+	env := HistoryEnv{H: e.hist, Trusts: e.trust, Now: now}
+
+	e.mu.Lock()
+	policies := e.policies
+	e.mu.Unlock()
+
+	var out []Violation
+	for _, u := range users {
+		for _, p := range policies {
+			if !p.Eval(env, u) {
+				continue
+			}
+			key := p.Name + "\x00" + u
+			e.mu.Lock()
+			if last, ok := e.lastFired[key]; ok && now.Sub(last) < e.cooldown {
+				e.mu.Unlock()
+				continue
+			}
+			e.lastFired[key] = now
+			if _, ok := e.detected[u]; !ok {
+				e.detected[u] = now
+			}
+			e.mu.Unlock()
+			v := Violation{Time: now, Policy: p.Name, User: u, Severity: p.Severity}
+			out = append(out, v)
+			e.dispatch(p, v)
+		}
+	}
+	return out
+}
+
+func (e *Engine) dispatch(p Policy, v Violation) {
+	for _, a := range p.Actions {
+		switch a.Kind {
+		case ActLog:
+			e.sink.Log(v)
+		case ActAlert:
+			e.sink.Alert(v)
+		case ActBlock:
+			e.sink.Block(v.User, a.Dur, v)
+		case ActThrottle:
+			e.sink.Throttle(v.User, a.Rate, v)
+		case ActQuarantine:
+			e.sink.Quarantine(v.User, v)
+		}
+	}
+}
+
+// FirstDetection returns when a user was first detected by any policy.
+func (e *Engine) FirstDetection(user string) (time.Time, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.detected[user]
+	return t, ok
+}
+
+// DetectedUsers returns all users ever detected with their first
+// detection times.
+func (e *Engine) DetectedUsers() map[string]time.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]time.Time, len(e.detected))
+	for k, v := range e.detected {
+		out[k] = v
+	}
+	return out
+}
+
+// DefaultCatalog is the policy set used throughout the experiments: the
+// paper's DoS write-flood pattern plus crawling and failure-probe
+// patterns made expressible by the language.
+const DefaultCatalog = `
+# Write-flood DoS: a client hammering writes far above the workload norm.
+policy dos_write_flood {
+    when rate(write, 10s) > 50 and bytes(write, 10s) > 256MB
+    severity high
+    then block(300s), log()
+}
+
+# Read-flood DoS.
+policy dos_read_flood {
+    when rate(read, 10s) > 200
+    severity high
+    then block(120s), log()
+}
+
+# Metadata crawling: touching many distinct BLOBs quickly.
+policy crawler {
+    when distinct_blobs(30s) > 100
+    severity medium
+    then throttle(10), log()
+}
+
+# Failure probing: repeated failed operations (scanning for ACL holes).
+policy prober {
+    when failures(read, 60s) > 20 or count(auth_fail, 60s) > 10
+    severity medium
+    then alert(), log()
+}
+`

@@ -1,0 +1,717 @@
+// Package policy implements the paper's generic security framework: an
+// expressive policy description language for defining malicious-behaviour
+// patterns (Policy Definition), a detection engine that scans the User
+// Activity History for those patterns (Security Violation Detection
+// Engine), and graded enforcement actions fed back to the storage system
+// (Policy Enforcement).
+//
+// The language, compiled rather than interpreted per event, looks like:
+//
+//	policy dos_flood {
+//	    when rate(write, 10s) > 100 and bytes(write, 10s) > 512MB
+//	    severity high
+//	    then block(300s), log()
+//	}
+//
+// Aggregators are evaluated per user over sliding windows of the activity
+// history: rate, count, bytes, failures, distinct_blobs, trust.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Severity grades a policy.
+type Severity int
+
+// Severity levels.
+const (
+	Low Severity = iota
+	Medium
+	High
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Low:
+		return "low"
+	case High:
+		return "high"
+	default:
+		return "medium"
+	}
+}
+
+// ActionKind enumerates enforcement actions.
+type ActionKind string
+
+// Enforcement actions.
+const (
+	ActLog        ActionKind = "log"
+	ActAlert      ActionKind = "alert"
+	ActBlock      ActionKind = "block"
+	ActThrottle   ActionKind = "throttle"
+	ActQuarantine ActionKind = "quarantine"
+)
+
+// Action is one enforcement action with its arguments.
+type Action struct {
+	Kind ActionKind
+	Dur  time.Duration // block duration
+	Rate float64       // throttle ops/s
+}
+
+func (a Action) String() string {
+	switch a.Kind {
+	case ActBlock:
+		return fmt.Sprintf("block(%s)", formatDur(a.Dur))
+	case ActThrottle:
+		return fmt.Sprintf("throttle(%s)", strconv.FormatFloat(a.Rate, 'g', -1, 64))
+	default:
+		return string(a.Kind) + "()"
+	}
+}
+
+// Policy is one compiled security policy.
+type Policy struct {
+	Name     string
+	Severity Severity
+	Cond     Expr
+	Actions  []Action
+}
+
+func (p Policy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy %s {\n", p.Name)
+	fmt.Fprintf(&b, "    when %s\n", p.Cond)
+	fmt.Fprintf(&b, "    severity %s\n", p.Severity)
+	acts := make([]string, len(p.Actions))
+	for i, a := range p.Actions {
+		acts[i] = a.String()
+	}
+	fmt.Fprintf(&b, "    then %s\n}", strings.Join(acts, ", "))
+	return b.String()
+}
+
+// Env supplies the per-user aggregations an expression evaluates against.
+// Implementations bind the activity history, the trust module and the
+// evaluation instant.
+type Env interface {
+	Rate(user, op string, w time.Duration) float64
+	Count(user, op string, w time.Duration) float64
+	Bytes(user, op string, w time.Duration) float64
+	Failures(user, op string, w time.Duration) float64
+	DistinctBlobs(user string, w time.Duration) float64
+	Trust(user string) float64
+}
+
+// Expr is a boolean or numeric expression node.
+type Expr interface {
+	fmt.Stringer
+	// evalNum evaluates numeric value; evalBool evaluates truth.
+	evalNum(env Env, user string) float64
+	evalBool(env Env, user string) bool
+}
+
+// binExpr is a boolean connective.
+type binExpr struct {
+	op   string // "and" | "or"
+	l, r Expr
+}
+
+func (e *binExpr) String() string { return fmt.Sprintf("(%s %s %s)", e.l, e.op, e.r) }
+func (e *binExpr) evalNum(env Env, u string) float64 {
+	if e.evalBool(env, u) {
+		return 1
+	}
+	return 0
+}
+func (e *binExpr) evalBool(env Env, u string) bool {
+	if e.op == "and" {
+		return e.l.evalBool(env, u) && e.r.evalBool(env, u)
+	}
+	return e.l.evalBool(env, u) || e.r.evalBool(env, u)
+}
+
+// notExpr negates.
+type notExpr struct{ x Expr }
+
+func (e *notExpr) String() string { return fmt.Sprintf("(not %s)", e.x) }
+func (e *notExpr) evalNum(env Env, u string) float64 {
+	if e.evalBool(env, u) {
+		return 1
+	}
+	return 0
+}
+func (e *notExpr) evalBool(env Env, u string) bool { return !e.x.evalBool(env, u) }
+
+// cmpExpr compares two numeric expressions.
+type cmpExpr struct {
+	op   string
+	l, r Expr
+}
+
+func (e *cmpExpr) String() string { return fmt.Sprintf("%s %s %s", e.l, e.op, e.r) }
+func (e *cmpExpr) evalNum(env Env, u string) float64 {
+	if e.evalBool(env, u) {
+		return 1
+	}
+	return 0
+}
+func (e *cmpExpr) evalBool(env Env, u string) bool {
+	l, r := e.l.evalNum(env, u), e.r.evalNum(env, u)
+	switch e.op {
+	case ">":
+		return l > r
+	case ">=":
+		return l >= r
+	case "<":
+		return l < r
+	case "<=":
+		return l <= r
+	case "==":
+		return l == r
+	case "!=":
+		return l != r
+	}
+	return false
+}
+
+// numLit is a literal with its original spelling preserved for printing.
+type numLit struct {
+	val float64
+	raw string
+}
+
+func (e *numLit) String() string                  { return e.raw }
+func (e *numLit) evalNum(Env, string) float64     { return e.val }
+func (e *numLit) evalBool(env Env, u string) bool { return e.evalNum(env, u) != 0 }
+
+// callExpr is an aggregator call.
+type callExpr struct {
+	fn     string
+	op     string        // event op argument, "" when n/a
+	window time.Duration // window argument, 0 when n/a
+}
+
+func (e *callExpr) String() string {
+	switch e.fn {
+	case "trust":
+		return "trust()"
+	case "distinct_blobs":
+		return fmt.Sprintf("distinct_blobs(%s)", formatDur(e.window))
+	default:
+		return fmt.Sprintf("%s(%s, %s)", e.fn, e.op, formatDur(e.window))
+	}
+}
+
+func (e *callExpr) evalNum(env Env, u string) float64 {
+	switch e.fn {
+	case "rate":
+		return env.Rate(u, e.op, e.window)
+	case "count":
+		return env.Count(u, e.op, e.window)
+	case "bytes":
+		return env.Bytes(u, e.op, e.window)
+	case "failures":
+		return env.Failures(u, e.op, e.window)
+	case "distinct_blobs":
+		return env.DistinctBlobs(u, e.window)
+	case "trust":
+		return env.Trust(u)
+	}
+	return 0
+}
+func (e *callExpr) evalBool(env Env, u string) bool { return e.evalNum(env, u) != 0 }
+
+// Eval evaluates a policy condition for one user.
+func (p Policy) Eval(env Env, user string) bool { return p.Cond.evalBool(env, user) }
+
+// ---- lexer ----
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber // digits with optional unit suffix, e.g. 10s, 512MB, 3.5
+	tString
+	tPunct // { } ( ) ,
+	tOp    // > >= < <= == !=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src string
+	i   int
+}
+
+func (lx *lexer) errf(pos int, format string, args ...any) error {
+	line := 1 + strings.Count(lx.src[:pos], "\n")
+	return fmt.Errorf("policy: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdent(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (lx *lexer) next() (token, error) {
+	for lx.i < len(lx.src) {
+		c := lx.src[lx.i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.i++
+		case c == '#': // comment to end of line
+			for lx.i < len(lx.src) && lx.src[lx.i] != '\n' {
+				lx.i++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tEOF, pos: lx.i}, nil
+scan:
+	start := lx.i
+	c := lx.src[lx.i]
+	switch {
+	case isIdentStart(c):
+		for lx.i < len(lx.src) && isIdent(lx.src[lx.i]) {
+			lx.i++
+		}
+		return token{tIdent, lx.src[start:lx.i], start}, nil
+	case isDigit(c):
+		for lx.i < len(lx.src) && (isDigit(lx.src[lx.i]) || lx.src[lx.i] == '.') {
+			lx.i++
+		}
+		// unit suffix glued to the number (s, ms, m, h, KB, MB, GB, TB)
+		for lx.i < len(lx.src) && isIdentStart(lx.src[lx.i]) {
+			lx.i++
+		}
+		return token{tNumber, lx.src[start:lx.i], start}, nil
+	case c == '"':
+		lx.i++
+		for lx.i < len(lx.src) && lx.src[lx.i] != '"' {
+			lx.i++
+		}
+		if lx.i >= len(lx.src) {
+			return token{}, lx.errf(start, "unterminated string")
+		}
+		lx.i++
+		return token{tString, lx.src[start+1 : lx.i-1], start}, nil
+	case strings.ContainsRune("{}(),", rune(c)):
+		lx.i++
+		return token{tPunct, string(c), start}, nil
+	case c == '>' || c == '<' || c == '=' || c == '!':
+		lx.i++
+		if lx.i < len(lx.src) && lx.src[lx.i] == '=' {
+			lx.i++
+			return token{tOp, lx.src[start:lx.i], start}, nil
+		}
+		if c == '=' || c == '!' {
+			return token{}, lx.errf(start, "expected '==' or '!='")
+		}
+		return token{tOp, string(c), start}, nil
+	}
+	return token{}, lx.errf(start, "unexpected character %q", c)
+}
+
+// ---- parser ----
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+// Parse compiles policy source into policies. Multiple policy blocks may
+// appear in one source; names must be unique.
+func Parse(src string) ([]Policy, error) {
+	p := &parser{lx: &lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var out []Policy
+	seen := map[string]bool{}
+	for p.tok.kind != tEOF {
+		pol, err := p.policy()
+		if err != nil {
+			return nil, err
+		}
+		if seen[pol.Name] {
+			return nil, fmt.Errorf("policy: duplicate policy %q", pol.Name)
+		}
+		seen[pol.Name] = true
+		out = append(out, pol)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("policy: no policies in source")
+	}
+	return out, nil
+}
+
+// MustParse is Parse that panics on error (for static policy catalogs).
+func MustParse(src string) []Policy {
+	ps, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return ps
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expectIdent(word string) error {
+	if p.tok.kind != tIdent || p.tok.text != word {
+		return p.lx.errf(p.tok.pos, "expected %q, got %q", word, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tPunct || p.tok.text != s {
+		return p.lx.errf(p.tok.pos, "expected %q, got %q", s, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) policy() (Policy, error) {
+	var pol Policy
+	if err := p.expectIdent("policy"); err != nil {
+		return pol, err
+	}
+	if p.tok.kind != tIdent {
+		return pol, p.lx.errf(p.tok.pos, "expected policy name")
+	}
+	pol.Name = p.tok.text
+	if err := p.advance(); err != nil {
+		return pol, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return pol, err
+	}
+	if err := p.expectIdent("when"); err != nil {
+		return pol, err
+	}
+	cond, err := p.orExpr()
+	if err != nil {
+		return pol, err
+	}
+	pol.Cond = cond
+	pol.Severity = Medium
+	if p.tok.kind == tIdent && p.tok.text == "severity" {
+		if err := p.advance(); err != nil {
+			return pol, err
+		}
+		switch p.tok.text {
+		case "low":
+			pol.Severity = Low
+		case "medium":
+			pol.Severity = Medium
+		case "high":
+			pol.Severity = High
+		default:
+			return pol, p.lx.errf(p.tok.pos, "bad severity %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return pol, err
+		}
+	}
+	if err := p.expectIdent("then"); err != nil {
+		return pol, err
+	}
+	for {
+		act, err := p.action()
+		if err != nil {
+			return pol, err
+		}
+		pol.Actions = append(pol.Actions, act)
+		if p.tok.kind == tPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return pol, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return pol, err
+	}
+	return pol, nil
+}
+
+func (p *parser) action() (Action, error) {
+	if p.tok.kind != tIdent {
+		return Action{}, p.lx.errf(p.tok.pos, "expected action name")
+	}
+	kind := ActionKind(p.tok.text)
+	pos := p.tok.pos
+	if err := p.advance(); err != nil {
+		return Action{}, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return Action{}, err
+	}
+	var act Action
+	act.Kind = kind
+	switch kind {
+	case ActLog, ActAlert, ActQuarantine:
+		// no args
+	case ActBlock:
+		if p.tok.kind != tNumber {
+			return act, p.lx.errf(p.tok.pos, "block() needs a duration")
+		}
+		v, isDur, err := parseNumber(p.tok.text)
+		if err != nil || !isDur {
+			return act, p.lx.errf(p.tok.pos, "block() needs a duration, got %q", p.tok.text)
+		}
+		act.Dur = time.Duration(v * float64(time.Second))
+		if err := p.advance(); err != nil {
+			return act, err
+		}
+	case ActThrottle:
+		if p.tok.kind != tNumber {
+			return act, p.lx.errf(p.tok.pos, "throttle() needs a rate")
+		}
+		v, isDur, err := parseNumber(p.tok.text)
+		if err != nil || isDur {
+			return act, p.lx.errf(p.tok.pos, "throttle() needs a plain rate, got %q", p.tok.text)
+		}
+		act.Rate = v
+		if err := p.advance(); err != nil {
+			return act, err
+		}
+	default:
+		return act, p.lx.errf(pos, "unknown action %q", kind)
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return act, err
+	}
+	return act, nil
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tIdent && p.tok.text == "or" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: "or", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tIdent && p.tok.text == "and" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: "and", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.tok.kind == tIdent && p.tok.text == "not" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &notExpr{x: x}, nil
+	}
+	return p.cmp()
+}
+
+func (p *parser) cmp() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tOp {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return &cmpExpr{op: op, l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+var aggregators = map[string]bool{
+	"rate": true, "count": true, "bytes": true, "failures": true,
+	"distinct_blobs": true, "trust": true,
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch {
+	case p.tok.kind == tNumber:
+		v, _, err := parseNumber(p.tok.text)
+		if err != nil {
+			return nil, p.lx.errf(p.tok.pos, "%v", err)
+		}
+		e := &numLit{val: v, raw: p.tok.text}
+		return e, p.advance()
+	case p.tok.kind == tPunct && p.tok.text == "(":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	case p.tok.kind == tIdent && aggregators[p.tok.text]:
+		return p.call()
+	}
+	return nil, p.lx.errf(p.tok.pos, "expected number, aggregator or '(', got %q", p.tok.text)
+}
+
+func (p *parser) call() (Expr, error) {
+	fn := p.tok.text
+	pos := p.tok.pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	e := &callExpr{fn: fn}
+	switch fn {
+	case "trust":
+		// no args
+	case "distinct_blobs":
+		w, err := p.windowArg()
+		if err != nil {
+			return nil, err
+		}
+		e.window = w
+	default: // rate, count, bytes, failures: (op, window)
+		if p.tok.kind != tIdent && p.tok.kind != tString {
+			return nil, p.lx.errf(p.tok.pos, "%s() needs an operation name", fn)
+		}
+		e.op = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		w, err := p.windowArg()
+		if err != nil {
+			return nil, err
+		}
+		e.window = w
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	_ = pos
+	return e, nil
+}
+
+func (p *parser) windowArg() (time.Duration, error) {
+	if p.tok.kind != tNumber {
+		return 0, p.lx.errf(p.tok.pos, "expected window duration, got %q", p.tok.text)
+	}
+	v, isDur, err := parseNumber(p.tok.text)
+	if err != nil || !isDur {
+		return 0, p.lx.errf(p.tok.pos, "expected duration (e.g. 10s), got %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	return time.Duration(v * float64(time.Second)), nil
+}
+
+// parseNumber parses "3", "3.5", "10s", "500ms", "2m", "1h", "512MB"…
+// Durations are returned in seconds with isDur=true; sizes in bytes.
+func parseNumber(s string) (v float64, isDur bool, err error) {
+	i := 0
+	for i < len(s) && (isDigit(s[i]) || s[i] == '.') {
+		i++
+	}
+	base, err := strconv.ParseFloat(s[:i], 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad number %q", s)
+	}
+	unit := s[i:]
+	switch unit {
+	case "":
+		return base, false, nil
+	case "ms":
+		return base / 1000, true, nil
+	case "s":
+		return base, true, nil
+	case "m":
+		return base * 60, true, nil
+	case "h":
+		return base * 3600, true, nil
+	case "B":
+		return base, false, nil
+	case "KB":
+		return base * (1 << 10), false, nil
+	case "MB":
+		return base * (1 << 20), false, nil
+	case "GB":
+		return base * (1 << 30), false, nil
+	case "TB":
+		return base * (1 << 40), false, nil
+	}
+	return 0, false, fmt.Errorf("bad unit %q in %q", unit, s)
+}
+
+func formatDur(d time.Duration) string {
+	s := d.Seconds()
+	if s == float64(int64(s)) {
+		return fmt.Sprintf("%ds", int64(s))
+	}
+	return fmt.Sprintf("%dms", d.Milliseconds())
+}
+
+// Names returns the sorted names of a policy set.
+func Names(ps []Policy) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	sort.Strings(out)
+	return out
+}

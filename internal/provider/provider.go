@@ -1,0 +1,403 @@
+// Package provider implements BlobSeer's data providers: the actors that
+// store BLOB chunks in a distributed manner. A provider wraps a chunk
+// Store with capacity accounting, reference counting (chunks are shared
+// across versions and BLOBs), statistics and instrumentation taps.
+package provider
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"blobseer/internal/chunk"
+	"blobseer/internal/instrument"
+)
+
+// Errors returned by providers and stores.
+var (
+	ErrNotFound = errors.New("provider: chunk not found")
+	ErrFull     = errors.New("provider: capacity exceeded")
+	ErrStopped  = errors.New("provider: stopped")
+)
+
+// Store is the chunk persistence interface. Implementations must be safe
+// for concurrent use. Put of an already-present chunk increments its
+// reference count; Delete decrements and frees at zero.
+type Store interface {
+	Put(id chunk.ID, data []byte) error
+	Get(id chunk.ID) ([]byte, error)
+	Delete(id chunk.ID) error
+	Has(id chunk.ID) bool
+	Keys() []chunk.ID
+	Used() int64
+	Count() int
+}
+
+// MemStore is an in-memory, reference-counted Store with a byte-capacity
+// bound. It is the store used by all examples and tests; the interface
+// exists so a disk store can be dropped in.
+type MemStore struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	data     map[chunk.ID][]byte
+	refs     map[chunk.ID]int
+}
+
+// NewMemStore returns a store bounded to capacity bytes (capacity ≤ 0
+// means unbounded).
+func NewMemStore(capacity int64) *MemStore {
+	return &MemStore{
+		capacity: capacity,
+		data:     make(map[chunk.ID][]byte),
+		refs:     make(map[chunk.ID]int),
+	}
+}
+
+// Put stores a copy of data under id, or bumps the refcount when the
+// chunk is already present (content addressing makes replays idempotent).
+func (s *MemStore) Put(id chunk.ID, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.data[id]; ok {
+		s.refs[id]++
+		return nil
+	}
+	if s.capacity > 0 && s.used+int64(len(data)) > s.capacity {
+		return ErrFull
+	}
+	s.data[id] = append([]byte(nil), data...)
+	s.refs[id] = 1
+	s.used += int64(len(data))
+	return nil
+}
+
+// Get returns a copy of the chunk payload.
+func (s *MemStore) Get(id chunk.ID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.data[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), d...), nil
+}
+
+// Delete decrements the chunk's refcount, freeing it at zero. Deleting an
+// absent chunk returns ErrNotFound.
+func (s *MemStore) Delete(id chunk.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.data[id]
+	if !ok {
+		return ErrNotFound
+	}
+	s.refs[id]--
+	if s.refs[id] <= 0 {
+		s.used -= int64(len(d))
+		delete(s.data, id)
+		delete(s.refs, id)
+	}
+	return nil
+}
+
+// Has reports whether the chunk is present.
+func (s *MemStore) Has(id chunk.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.data[id]
+	return ok
+}
+
+// Keys returns the stored chunk IDs in unspecified order.
+func (s *MemStore) Keys() []chunk.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]chunk.ID, 0, len(s.data))
+	for id := range s.data {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Used returns the stored payload bytes (each chunk counted once).
+func (s *MemStore) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Count returns the number of distinct chunks.
+func (s *MemStore) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Stats is a snapshot of a provider's activity counters.
+type Stats struct {
+	Stores, Fetches, Deletes int64
+	BytesIn, BytesOut        int64
+	Active                   int   // in-flight operations
+	Used, Capacity           int64 // bytes
+	Chunks                   int
+}
+
+// Provider is one data-provider actor.
+type Provider struct {
+	id   string
+	zone string
+	cap  int64
+	st   Store
+	emit instrument.Emitter
+	now  func() time.Time
+
+	mu      sync.Mutex
+	stopped bool
+	stores  int64
+	fetches int64
+	deletes int64
+	bytesIn int64
+	bytesUp int64
+	active  int
+}
+
+// Option configures a Provider.
+type Option func(*Provider)
+
+// WithEmitter attaches an instrumentation emitter.
+func WithEmitter(e instrument.Emitter) Option {
+	return func(p *Provider) {
+		if e != nil {
+			p.emit = e
+		}
+	}
+}
+
+// WithClock overrides the time source (used under simulation).
+func WithClock(now func() time.Time) Option {
+	return func(p *Provider) {
+		if now != nil {
+			p.now = now
+		}
+	}
+}
+
+// WithStore overrides the backing store.
+func WithStore(s Store) Option {
+	return func(p *Provider) {
+		if s != nil {
+			p.st = s
+		}
+	}
+}
+
+// New returns a provider with the given identity, zone (site name in
+// Grid'5000 terms) and capacity in bytes (≤ 0 means unbounded).
+func New(id, zone string, capacity int64, opts ...Option) *Provider {
+	p := &Provider{
+		id:   id,
+		zone: zone,
+		cap:  capacity,
+		st:   NewMemStore(capacity),
+		emit: instrument.Nop{},
+		now:  time.Now,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// ID returns the provider identity.
+func (p *Provider) ID() string { return p.id }
+
+// Zone returns the provider's zone (site).
+func (p *Provider) Zone() string { return p.zone }
+
+// Capacity returns the configured capacity in bytes (≤ 0 = unbounded).
+func (p *Provider) Capacity() int64 { return p.cap }
+
+// Stop marks the provider as stopped; subsequent operations fail with
+// ErrStopped. Used by elasticity (pool contraction) and failure injection.
+func (p *Provider) Stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.emit.Emit(instrument.Event{
+		Time: p.now(), Actor: instrument.ActorProvider, Node: p.id, Op: instrument.OpLeave,
+	})
+}
+
+// Stopped reports whether the provider has been stopped.
+func (p *Provider) Stopped() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stopped
+}
+
+// Restart clears the stopped flag (failure-recovery testing).
+func (p *Provider) Restart() {
+	p.mu.Lock()
+	p.stopped = false
+	p.mu.Unlock()
+	p.emit.Emit(instrument.Event{
+		Time: p.now(), Actor: instrument.ActorProvider, Node: p.id, Op: instrument.OpJoin,
+	})
+}
+
+func (p *Provider) begin() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return ErrStopped
+	}
+	p.active++
+	return nil
+}
+
+func (p *Provider) end() {
+	p.mu.Lock()
+	p.active--
+	p.mu.Unlock()
+}
+
+// Store persists one chunk replica on behalf of user.
+func (p *Provider) Store(user string, id chunk.ID, data []byte) error {
+	start := p.now()
+	if err := p.begin(); err != nil {
+		return err
+	}
+	defer p.end()
+	err := p.st.Put(id, data)
+	p.mu.Lock()
+	p.stores++
+	if err == nil {
+		p.bytesIn += int64(len(data))
+	}
+	p.mu.Unlock()
+	ev := instrument.Event{
+		Time: p.now(), Actor: instrument.ActorProvider, Node: p.id, User: user,
+		Op: instrument.OpStore, Bytes: int64(len(data)), Dur: p.now().Sub(start),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	p.emit.Emit(ev)
+	return err
+}
+
+// Fetch returns one chunk replica on behalf of user.
+func (p *Provider) Fetch(user string, id chunk.ID) ([]byte, error) {
+	start := p.now()
+	if err := p.begin(); err != nil {
+		return nil, err
+	}
+	defer p.end()
+	data, err := p.st.Get(id)
+	p.mu.Lock()
+	p.fetches++
+	if err == nil {
+		p.bytesUp += int64(len(data))
+	}
+	p.mu.Unlock()
+	ev := instrument.Event{
+		Time: p.now(), Actor: instrument.ActorProvider, Node: p.id, User: user,
+		Op: instrument.OpFetch, Bytes: int64(len(data)), Dur: p.now().Sub(start),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	p.emit.Emit(ev)
+	return data, err
+}
+
+// Remove drops one reference to a chunk.
+func (p *Provider) Remove(id chunk.ID) error {
+	if err := p.begin(); err != nil {
+		return err
+	}
+	defer p.end()
+	err := p.st.Delete(id)
+	p.mu.Lock()
+	p.deletes++
+	p.mu.Unlock()
+	ev := instrument.Event{
+		Time: p.now(), Actor: instrument.ActorProvider, Node: p.id, Op: instrument.OpDelete,
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	p.emit.Emit(ev)
+	return err
+}
+
+// Has reports whether the provider holds the chunk.
+func (p *Provider) Has(id chunk.ID) bool { return p.st.Has(id) }
+
+// Keys lists held chunk IDs sorted for determinism.
+func (p *Provider) Keys() []chunk.ID {
+	ks := p.st.Keys()
+	sort.Slice(ks, func(i, j int) bool {
+		return string(ks[i][:]) < string(ks[j][:])
+	})
+	return ks
+}
+
+// Used returns stored bytes.
+func (p *Provider) Used() int64 { return p.st.Used() }
+
+// Free returns remaining capacity, or -1 when unbounded.
+func (p *Provider) Free() int64 {
+	if p.cap <= 0 {
+		return -1
+	}
+	f := p.cap - p.st.Used()
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// Stats returns a snapshot of activity counters.
+func (p *Provider) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Stores: p.stores, Fetches: p.fetches, Deletes: p.deletes,
+		BytesIn: p.bytesIn, BytesOut: p.bytesUp,
+		Active: p.active, Used: p.st.Used(), Capacity: p.cap, Chunks: p.st.Count(),
+	}
+}
+
+// ReportPhysical emits the periodic physical-parameter samples the
+// monitoring layer collects (disk space, active connections). cpu and mem
+// are externally measured utilizations in [0,1].
+func (p *Provider) ReportPhysical(cpu, mem float64) {
+	now := p.now()
+	p.mu.Lock()
+	active := p.active
+	p.mu.Unlock()
+	base := instrument.Event{Time: now, Actor: instrument.ActorProvider, Node: p.id}
+	for _, s := range []struct {
+		op instrument.Op
+		v  float64
+	}{
+		{instrument.OpCPULoad, cpu},
+		{instrument.OpMemUsage, mem},
+		{instrument.OpDiskSpace, float64(p.st.Used())},
+		{instrument.OpActiveConn, float64(active)},
+	} {
+		ev := base
+		ev.Op = s.op
+		ev.Value = s.v
+		p.emit.Emit(ev)
+	}
+}
+
+// String implements fmt.Stringer.
+func (p *Provider) String() string {
+	return fmt.Sprintf("provider(%s zone=%s used=%d)", p.id, p.zone, p.Used())
+}

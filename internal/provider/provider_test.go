@@ -1,0 +1,265 @@
+package provider
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"blobseer/internal/chunk"
+	"blobseer/internal/instrument"
+)
+
+func TestMemStorePutGet(t *testing.T) {
+	s := NewMemStore(0)
+	id := chunk.Sum([]byte("abc"))
+	if err := s.Put(id, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(id)
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("got=%q err=%v", got, err)
+	}
+	if s.Used() != 3 || s.Count() != 1 {
+		t.Fatalf("used=%d count=%d", s.Used(), s.Count())
+	}
+}
+
+func TestMemStoreGetCopies(t *testing.T) {
+	s := NewMemStore(0)
+	id := chunk.Sum([]byte("abc"))
+	if err := s.Put(id, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(id)
+	got[0] = 'X'
+	again, _ := s.Get(id)
+	if string(again) != "abc" {
+		t.Fatal("Get returned aliased storage")
+	}
+}
+
+func TestMemStoreRefcount(t *testing.T) {
+	s := NewMemStore(0)
+	id := chunk.Sum([]byte("abc"))
+	if err := s.Put(id, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(id, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used() != 3 {
+		t.Fatalf("dedup failed, used=%d", s.Used())
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(id) {
+		t.Fatal("chunk freed while references remain")
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(id) || s.Used() != 0 {
+		t.Fatal("chunk not freed at refcount zero")
+	}
+}
+
+func TestMemStoreCapacity(t *testing.T) {
+	s := NewMemStore(5)
+	a := chunk.Sum([]byte("aaa"))
+	b := chunk.Sum([]byte("bbbb"))
+	if err := s.Put(a, []byte("aaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b, []byte("bbbb")); !errors.Is(err, ErrFull) {
+		t.Fatalf("want ErrFull, got %v", err)
+	}
+	// duplicate put of existing chunk must still succeed at capacity
+	if err := s.Put(a, []byte("aaa")); err != nil {
+		t.Fatalf("idempotent put failed: %v", err)
+	}
+}
+
+func TestMemStoreDeleteMissing(t *testing.T) {
+	s := NewMemStore(0)
+	if err := s.Delete(chunk.Sum([]byte("x"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if _, err := s.Get(chunk.Sum([]byte("x"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestProviderStoreFetch(t *testing.T) {
+	rec := &instrument.Recorder{}
+	p := New("p1", "rennes", 0, WithEmitter(rec))
+	id := chunk.Sum([]byte("hello"))
+	if err := p.Store("alice", id, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Fetch("bob", id)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("got=%q err=%v", got, err)
+	}
+	st := p.Stats()
+	if st.Stores != 1 || st.Fetches != 1 || st.BytesIn != 5 || st.BytesOut != 5 {
+		t.Fatalf("stats=%+v", st)
+	}
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events=%d", len(evs))
+	}
+	if evs[0].Op != instrument.OpStore || evs[0].User != "alice" {
+		t.Fatalf("ev0=%+v", evs[0])
+	}
+	if evs[1].Op != instrument.OpFetch || evs[1].User != "bob" {
+		t.Fatalf("ev1=%+v", evs[1])
+	}
+}
+
+func TestProviderStopRestart(t *testing.T) {
+	p := New("p1", "z", 0)
+	p.Stop()
+	if !p.Stopped() {
+		t.Fatal("not stopped")
+	}
+	id := chunk.Sum([]byte("x"))
+	if err := p.Store("u", id, []byte("x")); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+	if _, err := p.Fetch("u", id); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+	if err := p.Remove(id); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+	p.Restart()
+	if err := p.Store("u", id, []byte("x")); err != nil {
+		t.Fatalf("after restart: %v", err)
+	}
+}
+
+func TestProviderFree(t *testing.T) {
+	p := New("p1", "z", 10)
+	if p.Free() != 10 {
+		t.Fatalf("free=%d", p.Free())
+	}
+	id := chunk.Sum([]byte("1234"))
+	if err := p.Store("u", id, []byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 6 {
+		t.Fatalf("free=%d", p.Free())
+	}
+	unbounded := New("p2", "z", 0)
+	if unbounded.Free() != -1 {
+		t.Fatalf("unbounded free=%d", unbounded.Free())
+	}
+}
+
+func TestProviderKeysSorted(t *testing.T) {
+	p := New("p1", "z", 0)
+	for i := 0; i < 20; i++ {
+		data := []byte(fmt.Sprintf("chunk-%d", i))
+		if err := p.Store("u", chunk.Sum(data), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ks := p.Keys()
+	if len(ks) != 20 {
+		t.Fatalf("keys=%d", len(ks))
+	}
+	for i := 1; i < len(ks); i++ {
+		if string(ks[i-1][:]) >= string(ks[i][:]) {
+			t.Fatal("keys not sorted")
+		}
+	}
+}
+
+func TestProviderReportPhysical(t *testing.T) {
+	rec := &instrument.Recorder{}
+	p := New("p1", "z", 0, WithEmitter(rec))
+	p.ReportPhysical(0.5, 0.25)
+	ops := map[instrument.Op]bool{}
+	for _, e := range rec.Events() {
+		ops[e.Op] = true
+	}
+	for _, want := range []instrument.Op{
+		instrument.OpCPULoad, instrument.OpMemUsage,
+		instrument.OpDiskSpace, instrument.OpActiveConn,
+	} {
+		if !ops[want] {
+			t.Errorf("missing physical sample %s", want)
+		}
+	}
+}
+
+func TestProviderConcurrent(t *testing.T) {
+	p := New("p1", "z", 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				data := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				id := chunk.Sum(data)
+				if err := p.Store("u", id, data); err != nil {
+					t.Errorf("store: %v", err)
+					return
+				}
+				got, err := p.Fetch("u", id)
+				if err != nil || string(got) != string(data) {
+					t.Errorf("fetch: %q %v", got, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.Stats().Chunks != 400 {
+		t.Fatalf("chunks=%d", p.Stats().Chunks)
+	}
+}
+
+// Property: Used equals the sum of distinct chunk sizes regardless of the
+// put/delete interleaving.
+func TestMemStoreUsedInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := NewMemStore(0)
+		live := map[chunk.ID]int{} // refcounts we maintain independently
+		sizes := map[chunk.ID]int64{}
+		pool := make([][]byte, 8)
+		for i := range pool {
+			pool[i] = []byte(fmt.Sprintf("payload-%d-%s", i, string(make([]byte, i))))
+		}
+		for _, op := range ops {
+			data := pool[int(op)%len(pool)]
+			id := chunk.Sum(data)
+			if op%2 == 0 {
+				if err := s.Put(id, data); err != nil {
+					return false
+				}
+				live[id]++
+				sizes[id] = int64(len(data))
+			} else if live[id] > 0 {
+				if err := s.Delete(id); err != nil {
+					return false
+				}
+				live[id]--
+			}
+		}
+		var want int64
+		for id, n := range live {
+			if n > 0 {
+				want += sizes[id]
+			}
+		}
+		return s.Used() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package rpc provides the wire transport of the real deployment plane:
+// data providers exported over TCP with stdlib net/rpc + gob, and a
+// client-side Directory that dials them on demand. The in-process plane
+// (core.Cluster) and this package implement the same client.Conn
+// contract, so the BlobSeer client code is transport-agnostic.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"blobseer/internal/chunk"
+	"blobseer/internal/client"
+	"blobseer/internal/provider"
+)
+
+// StoreArgs is the wire form of a chunk store request.
+type StoreArgs struct {
+	User string
+	ID   chunk.ID
+	Data []byte
+}
+
+// FetchArgs is the wire form of a chunk fetch request.
+type FetchArgs struct {
+	User string
+	ID   chunk.ID
+}
+
+// FetchReply carries a fetched chunk payload.
+type FetchReply struct {
+	Data []byte
+}
+
+// RemoveArgs is the wire form of a chunk remove request.
+type RemoveArgs struct {
+	ID chunk.ID
+}
+
+// StatsReply carries provider statistics.
+type StatsReply struct {
+	Stats provider.Stats
+}
+
+// ProviderService exports one data provider over net/rpc.
+type ProviderService struct {
+	P *provider.Provider
+}
+
+// Store handles chunk writes.
+func (s *ProviderService) Store(args *StoreArgs, _ *struct{}) error {
+	return s.P.Store(args.User, args.ID, args.Data)
+}
+
+// Fetch handles chunk reads.
+func (s *ProviderService) Fetch(args *FetchArgs, reply *FetchReply) error {
+	data, err := s.P.Fetch(args.User, args.ID)
+	if err != nil {
+		return err
+	}
+	reply.Data = data
+	return nil
+}
+
+// Remove handles chunk deletion.
+func (s *ProviderService) Remove(args *RemoveArgs, _ *struct{}) error {
+	return s.P.Remove(args.ID)
+}
+
+// Stats reports provider counters.
+func (s *ProviderService) Stats(_ *struct{}, reply *StatsReply) error {
+	reply.Stats = s.P.Stats()
+	return nil
+}
+
+// Server hosts one provider on a TCP listener.
+type Server struct {
+	lis  net.Listener
+	rpcS *rpc.Server
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve exports p on addr (e.g. "127.0.0.1:0") and starts accepting in a
+// background goroutine. Close the returned server to stop.
+func Serve(p *provider.Provider, addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	s := &Server{lis: lis, rpcS: rpc.NewServer()}
+	if err := s.rpcS.RegisterName("Provider", &ProviderService{P: p}); err != nil {
+		lis.Close()
+		return nil, err
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.rpcS.ServeConn(conn)
+	}
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.lis.Close()
+}
+
+// Conn is a TCP connection to a remote provider; it implements
+// client.Conn and the chunk-deletion side of selfopt's pool contract.
+type Conn struct {
+	mu sync.Mutex
+	c  *rpc.Client
+}
+
+// Dial connects to a provider server.
+func Dial(addr string) (*Conn, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return &Conn{c: c}, nil
+}
+
+// Store implements client.Conn.
+func (c *Conn) Store(user string, id chunk.ID, data []byte) error {
+	return c.c.Call("Provider.Store", &StoreArgs{User: user, ID: id, Data: data}, &struct{}{})
+}
+
+// Fetch implements client.Conn.
+func (c *Conn) Fetch(user string, id chunk.ID) ([]byte, error) {
+	var reply FetchReply
+	if err := c.c.Call("Provider.Fetch", &FetchArgs{User: user, ID: id}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Data, nil
+}
+
+// Remove drops one chunk reference on the remote provider.
+func (c *Conn) Remove(id chunk.ID) error {
+	return c.c.Call("Provider.Remove", &RemoveArgs{ID: id}, &struct{}{})
+}
+
+// Stats fetches remote provider counters.
+func (c *Conn) Stats() (provider.Stats, error) {
+	var reply StatsReply
+	err := c.c.Call("Provider.Stats", &struct{}{}, &reply)
+	return reply.Stats, err
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// Directory resolves provider IDs to TCP connections, caching dials. It
+// implements client.Directory.
+type Directory struct {
+	mu    sync.Mutex
+	addrs map[string]string
+	conns map[string]*Conn
+}
+
+// NewDirectory returns a directory over a providerID → address map.
+func NewDirectory(addrs map[string]string) *Directory {
+	d := &Directory{addrs: make(map[string]string, len(addrs)), conns: make(map[string]*Conn)}
+	for k, v := range addrs {
+		d.addrs[k] = v
+	}
+	return d
+}
+
+// Register adds or updates a provider address (dropping any cached conn).
+func (d *Directory) Register(id, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.addrs[id] = addr
+	if c, ok := d.conns[id]; ok {
+		c.Close()
+		delete(d.conns, id)
+	}
+}
+
+// Lookup implements client.Directory.
+func (d *Directory) Lookup(id string) (client.Conn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.conns[id]; ok {
+		return c, nil
+	}
+	addr, ok := d.addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("rpc: unknown provider %q", id)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	d.conns[id] = c
+	return c, nil
+}
+
+// Close closes all cached connections.
+func (d *Directory) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var firstErr error
+	for id, c := range d.conns {
+		if err := c.Close(); err != nil && firstErr == nil && !errors.Is(err, rpc.ErrShutdown) {
+			firstErr = err
+		}
+		delete(d.conns, id)
+	}
+	return firstErr
+}

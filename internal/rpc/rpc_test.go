@@ -1,0 +1,159 @@
+package rpc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blobseer/internal/blobmeta"
+	"blobseer/internal/chunk"
+	"blobseer/internal/client"
+	"blobseer/internal/pmanager"
+	"blobseer/internal/provider"
+	"blobseer/internal/vmanager"
+)
+
+func startProvider(t *testing.T, id string) (*provider.Provider, *Server) {
+	t.Helper()
+	p := provider.New(id, "z", 0)
+	srv, err := Serve(p, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return p, srv
+}
+
+func TestStoreFetchOverTCP(t *testing.T) {
+	_, srv := startProvider(t, "p1")
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	data := []byte("over the wire")
+	id := chunk.Sum(data)
+	if err := conn.Store("alice", id, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.Fetch("bob", id)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("fetch: %q err=%v", got, err)
+	}
+	st, err := conn.Stats()
+	if err != nil || st.Stores != 1 || st.Fetches != 1 {
+		t.Fatalf("stats=%+v err=%v", st, err)
+	}
+}
+
+func TestRemoteErrorsPropagate(t *testing.T) {
+	_, srv := startProvider(t, "p1")
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, err = conn.Fetch("u", chunk.Sum([]byte("missing")))
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("want not-found error, got %v", err)
+	}
+	if err := conn.Remove(chunk.Sum([]byte("missing"))); err == nil {
+		t.Fatal("want error removing missing chunk")
+	}
+}
+
+func TestDirectoryCachingAndUnknown(t *testing.T) {
+	_, srv := startProvider(t, "p1")
+	dir := NewDirectory(map[string]string{"p1": srv.Addr()})
+	defer dir.Close()
+	c1, err := dir.Lookup("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := dir.Lookup("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("directory did not cache the connection")
+	}
+	if _, err := dir.Lookup("ghost"); err == nil {
+		t.Fatal("want error for unknown provider")
+	}
+}
+
+// Full BlobSeer write/read across real TCP providers.
+func TestClientOverTCPEndToEnd(t *testing.T) {
+	addrs := map[string]string{}
+	for _, id := range []string{"p1", "p2", "p3"} {
+		_, srv := startProvider(t, id)
+		addrs[id] = srv.Addr()
+	}
+	dir := NewDirectory(addrs)
+	defer dir.Close()
+
+	vm := vmanager.New(blobmeta.NewMemStore("m1", nil, nil), vmanager.WithSpan(1<<16))
+	pm := pmanager.New(pmanager.WithTTL(0))
+	for id := range addrs {
+		if err := pm.Register(pmanager.Info{ID: id, Zone: "z"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := client.New("alice", vm, pm, dir, client.WithReplicas(2))
+	info, err := cl.Create(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("tcp-blobseer"), 600)
+	if _, err := cl.Write(info.ID, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Read(info.ID, 0, 0, int64(len(payload)))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read mismatch err=%v", err)
+	}
+}
+
+func TestServerCloseStopsAccept(t *testing.T) {
+	_, srv := startProvider(t, "p1")
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := Dial(srv.Addr()); err == nil {
+		t.Fatal("dial succeeded after close")
+	}
+}
+
+func TestDirectoryRegisterReplaces(t *testing.T) {
+	p1, srv1 := startProvider(t, "pX")
+	dir := NewDirectory(map[string]string{"pX": srv1.Addr()})
+	defer dir.Close()
+	data := []byte("v1")
+	id := chunk.Sum(data)
+	conn, err := dir.Lookup("pX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Store("u", id, data); err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Has(id) {
+		t.Fatal("chunk not on p1")
+	}
+	// Re-point pX at a fresh provider; lookups must dial the new one.
+	p2, srv2 := startProvider(t, "pX2")
+	dir.Register("pX", srv2.Addr())
+	conn, err = dir.Lookup("pX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Store("u", id, data); err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Has(id) {
+		t.Fatal("chunk not on replacement provider")
+	}
+}

@@ -1,0 +1,403 @@
+// Package s3gate exposes a BlobSeer cluster behind an Amazon-S3-subset
+// HTTP interface, reproducing the paper's Nimbus/Cumulus integration:
+// BlobSeer as the storage back end of an S3-compatible Cloud storage
+// service. Supported operations: create bucket, list buckets, put/get/
+// head/delete object, list objects.
+//
+// Authentication is a SigV2-style HMAC ("AWS <access>:<signature>" over
+// method, path and date); failures are reported to the instrumentation
+// layer as auth_fail events, which the security framework's prober policy
+// consumes.
+package s3gate
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"blobseer/internal/core"
+	"blobseer/internal/instrument"
+)
+
+// MaxObjectSize bounds a single PUT (64 MiB chunks × 1024).
+const MaxObjectSize = int64(1) << 36
+
+type object struct {
+	blob     uint64
+	size     int64
+	etag     string
+	modified time.Time
+	owner    string
+}
+
+// Gateway is the S3 front end. It implements http.Handler.
+type Gateway struct {
+	cluster *core.Cluster
+	emit    instrument.Emitter
+	now     func() time.Time
+
+	mu      sync.Mutex
+	keys    map[string]string // accessKey → secret (nil = auth disabled)
+	buckets map[string]map[string]*object
+}
+
+// Option configures a Gateway.
+type Option func(*Gateway)
+
+// WithCredentials enables authentication with the given accessKey→secret
+// map. Without it every request runs as the anonymous user named by the
+// access key (or "anonymous").
+func WithCredentials(keys map[string]string) Option {
+	return func(g *Gateway) {
+		g.keys = make(map[string]string, len(keys))
+		for k, v := range keys {
+			g.keys[k] = v
+		}
+	}
+}
+
+// WithEmitter attaches instrumentation (auth failures, gateway ops).
+func WithEmitter(e instrument.Emitter) Option {
+	return func(g *Gateway) {
+		if e != nil {
+			g.emit = e
+		}
+	}
+}
+
+// WithClock overrides the time source.
+func WithClock(now func() time.Time) Option {
+	return func(g *Gateway) {
+		if now != nil {
+			g.now = now
+		}
+	}
+}
+
+// New returns a gateway over the cluster.
+func New(cluster *core.Cluster, opts ...Option) *Gateway {
+	g := &Gateway{
+		cluster: cluster,
+		emit:    instrument.Nop{},
+		now:     time.Now,
+		buckets: make(map[string]map[string]*object),
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// Sign computes the request signature for the given secret, method, path
+// and date header value — clients use it to authenticate.
+func Sign(secret, method, path, date string) string {
+	mac := hmac.New(sha256.New, []byte(secret))
+	io.WriteString(mac, method+"\n"+path+"\n"+date)
+	return base64.StdEncoding.EncodeToString(mac.Sum(nil))
+}
+
+// authenticate returns the user identity, or an error with HTTP status.
+func (g *Gateway) authenticate(r *http.Request) (string, int, error) {
+	if g.keys == nil {
+		return "anonymous", 0, nil
+	}
+	h := r.Header.Get("Authorization")
+	const prefix = "AWS "
+	if !strings.HasPrefix(h, prefix) {
+		return "", http.StatusForbidden, fmt.Errorf("missing authorization")
+	}
+	rest := strings.TrimPrefix(h, prefix)
+	access, sig, ok := strings.Cut(rest, ":")
+	if !ok {
+		return "", http.StatusForbidden, fmt.Errorf("malformed authorization")
+	}
+	g.mu.Lock()
+	secret, known := g.keys[access]
+	g.mu.Unlock()
+	if !known {
+		return "", http.StatusForbidden, fmt.Errorf("unknown access key")
+	}
+	want := Sign(secret, r.Method, r.URL.Path, r.Header.Get("x-bs-date"))
+	if !hmac.Equal([]byte(want), []byte(sig)) {
+		return "", http.StatusForbidden, fmt.Errorf("bad signature")
+	}
+	return access, 0, nil
+}
+
+type listAllBucketsResult struct {
+	XMLName xml.Name      `xml:"ListAllMyBucketsResult"`
+	Buckets []bucketEntry `xml:"Buckets>Bucket"`
+}
+
+type bucketEntry struct {
+	Name string `xml:"Name"`
+}
+
+type listBucketResult struct {
+	XMLName  xml.Name      `xml:"ListBucketResult"`
+	Name     string        `xml:"Name"`
+	Contents []objectEntry `xml:"Contents"`
+}
+
+type objectEntry struct {
+	Key          string `xml:"Key"`
+	Size         int64  `xml:"Size"`
+	ETag         string `xml:"ETag"`
+	LastModified string `xml:"LastModified"`
+}
+
+type errorResult struct {
+	XMLName xml.Name `xml:"Error"`
+	Code    string   `xml:"Code"`
+	Message string   `xml:"Message"`
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(status)
+	_ = xml.NewEncoder(w).Encode(errorResult{Code: code, Message: msg})
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	user, status, err := g.authenticate(r)
+	if err != nil {
+		g.emit.Emit(instrument.Event{
+			Time: g.now(), Actor: instrument.ActorGateway, Op: instrument.OpAuthFail,
+			User: strings.Split(r.RemoteAddr, ":")[0], Err: err.Error(),
+		})
+		writeErr(w, status, "AccessDenied", err.Error())
+		return
+	}
+	bucket, key := splitPath(r.URL.Path)
+	switch {
+	case bucket == "":
+		if r.Method == http.MethodGet {
+			g.listBuckets(w)
+			return
+		}
+		writeErr(w, http.StatusMethodNotAllowed, "MethodNotAllowed", r.Method)
+	case key == "":
+		g.bucketOp(w, r, user, bucket)
+	default:
+		g.objectOp(w, r, user, bucket, key)
+	}
+}
+
+func splitPath(p string) (bucket, key string) {
+	p = strings.TrimPrefix(p, "/")
+	if p == "" {
+		return "", ""
+	}
+	bucket, key, _ = strings.Cut(p, "/")
+	return bucket, key
+}
+
+func (g *Gateway) listBuckets(w http.ResponseWriter) {
+	g.mu.Lock()
+	names := make([]string, 0, len(g.buckets))
+	for b := range g.buckets {
+		names = append(names, b)
+	}
+	g.mu.Unlock()
+	sort.Strings(names)
+	out := listAllBucketsResult{}
+	for _, n := range names {
+		out.Buckets = append(out.Buckets, bucketEntry{Name: n})
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	_ = xml.NewEncoder(w).Encode(out)
+}
+
+func (g *Gateway) bucketOp(w http.ResponseWriter, r *http.Request, user, bucket string) {
+	switch r.Method {
+	case http.MethodPut:
+		g.mu.Lock()
+		if _, ok := g.buckets[bucket]; !ok {
+			g.buckets[bucket] = make(map[string]*object)
+		}
+		g.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	case http.MethodGet:
+		g.mu.Lock()
+		objs, ok := g.buckets[bucket]
+		var entries []objectEntry
+		if ok {
+			for k, o := range objs {
+				entries = append(entries, objectEntry{
+					Key: k, Size: o.size, ETag: o.etag,
+					LastModified: o.modified.UTC().Format(time.RFC3339),
+				})
+			}
+		}
+		g.mu.Unlock()
+		if !ok {
+			writeErr(w, http.StatusNotFound, "NoSuchBucket", bucket)
+			return
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+		w.Header().Set("Content-Type", "application/xml")
+		_ = xml.NewEncoder(w).Encode(listBucketResult{Name: bucket, Contents: entries})
+	case http.MethodDelete:
+		g.mu.Lock()
+		objs, ok := g.buckets[bucket]
+		empty := len(objs) == 0
+		if ok && empty {
+			delete(g.buckets, bucket)
+		}
+		g.mu.Unlock()
+		switch {
+		case !ok:
+			writeErr(w, http.StatusNotFound, "NoSuchBucket", bucket)
+		case !empty:
+			writeErr(w, http.StatusConflict, "BucketNotEmpty", bucket)
+		default:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "MethodNotAllowed", r.Method)
+	}
+}
+
+func (g *Gateway) objectOp(w http.ResponseWriter, r *http.Request, user, bucket, key string) {
+	switch r.Method {
+	case http.MethodPut:
+		g.putObject(w, r, user, bucket, key)
+	case http.MethodGet, http.MethodHead:
+		g.getObject(w, r, user, bucket, key)
+	case http.MethodDelete:
+		g.deleteObject(w, user, bucket, key)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "MethodNotAllowed", r.Method)
+	}
+}
+
+func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket, key string) {
+	g.mu.Lock()
+	_, ok := g.buckets[bucket]
+	g.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "NoSuchBucket", bucket)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxObjectSize))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "IncompleteBody", err.Error())
+		return
+	}
+	cl := g.cluster.Client(user)
+	info, err := cl.Create(0)
+	if err != nil {
+		writeErr(w, http.StatusForbidden, "AccessDenied", err.Error())
+		return
+	}
+	if len(body) > 0 {
+		if _, err := cl.Write(info.ID, 0, body); err != nil {
+			writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
+			return
+		}
+	}
+	sum := sha256.Sum256(body)
+	etag := fmt.Sprintf("%q", base64.StdEncoding.EncodeToString(sum[:16]))
+	g.mu.Lock()
+	var oldBlob uint64
+	if old, exists := g.buckets[bucket][key]; exists {
+		oldBlob = old.blob
+	}
+	g.buckets[bucket][key] = &object{
+		blob: info.ID, size: int64(len(body)), etag: etag,
+		modified: g.now(), owner: user,
+	}
+	g.mu.Unlock()
+	if oldBlob != 0 {
+		g.reclaim(oldBlob)
+	}
+	w.Header().Set("ETag", etag)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request, user, bucket, key string) {
+	g.mu.Lock()
+	objs, ok := g.buckets[bucket]
+	var o *object
+	if ok {
+		o = objs[key]
+	}
+	g.mu.Unlock()
+	if !ok || o == nil {
+		writeErr(w, http.StatusNotFound, "NoSuchKey", bucket+"/"+key)
+		return
+	}
+	w.Header().Set("ETag", o.etag)
+	w.Header().Set("Content-Length", strconv.FormatInt(o.size, 10))
+	w.Header().Set("Last-Modified", o.modified.UTC().Format(http.TimeFormat))
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	if o.size == 0 {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	data, err := g.cluster.Client(user).Read(o.blob, 0, 0, o.size)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (g *Gateway) deleteObject(w http.ResponseWriter, user, bucket, key string) {
+	g.mu.Lock()
+	objs, ok := g.buckets[bucket]
+	var o *object
+	if ok {
+		o = objs[key]
+		if o != nil {
+			delete(objs, key)
+		}
+	}
+	g.mu.Unlock()
+	if !ok || o == nil {
+		writeErr(w, http.StatusNotFound, "NoSuchKey", bucket+"/"+key)
+		return
+	}
+	g.reclaim(o.blob)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// reclaim deletes a blob's chunks from the providers.
+func (g *Gateway) reclaim(blob uint64) {
+	descs, err := g.cluster.VM.Delete(blob)
+	if err != nil {
+		return
+	}
+	pool := g.cluster.Pool()
+	for _, d := range descs {
+		for _, p := range d.Providers {
+			_ = pool.Remove(p, d.ID)
+		}
+	}
+}
+
+// Buckets returns the bucket names (diagnostics).
+func (g *Gateway) Buckets() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.buckets))
+	for b := range g.buckets {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,265 @@
+package s3gate
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"blobseer/internal/core"
+	"blobseer/internal/instrument"
+)
+
+func newGateway(t *testing.T, opts ...Option) (*Gateway, *httptest.Server) {
+	t.Helper()
+	cluster, err := core.NewCluster(core.Options{Providers: 3, Monitoring: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(cluster, opts...)
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+	return g, srv
+}
+
+func do(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestPutGetObject(t *testing.T) {
+	_, srv := newGateway(t)
+	if resp := do(t, http.MethodPut, srv.URL+"/mybucket", nil); resp.StatusCode != 200 {
+		t.Fatalf("create bucket: %d", resp.StatusCode)
+	}
+	payload := bytes.Repeat([]byte("s3data!"), 1000)
+	resp := do(t, http.MethodPut, srv.URL+"/mybucket/path/to/key", payload)
+	if resp.StatusCode != 200 {
+		t.Fatalf("put: %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag")
+	}
+	resp = do(t, http.MethodGet, srv.URL+"/mybucket/path/to/key", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("get: %d", resp.StatusCode)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %d vs %d bytes", len(got), len(payload))
+	}
+	if resp.Header.Get("ETag") != etag {
+		t.Fatal("etag changed between put and get")
+	}
+}
+
+func TestHeadObject(t *testing.T) {
+	_, srv := newGateway(t)
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	do(t, http.MethodPut, srv.URL+"/b/k", []byte("12345"))
+	resp := do(t, http.MethodHead, srv.URL+"/b/k", nil)
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Length") != "5" {
+		t.Fatalf("head: %d len=%s", resp.StatusCode, resp.Header.Get("Content-Length"))
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, srv := newGateway(t)
+	if resp := do(t, http.MethodGet, srv.URL+"/nope/k", nil); resp.StatusCode != 404 {
+		t.Fatalf("missing bucket: %d", resp.StatusCode)
+	}
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	if resp := do(t, http.MethodGet, srv.URL+"/b/nope", nil); resp.StatusCode != 404 {
+		t.Fatalf("missing key: %d", resp.StatusCode)
+	}
+}
+
+func TestPutToMissingBucket(t *testing.T) {
+	_, srv := newGateway(t)
+	if resp := do(t, http.MethodPut, srv.URL+"/nobucket/k", []byte("x")); resp.StatusCode != 404 {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+}
+
+func TestListBucketsAndObjects(t *testing.T) {
+	_, srv := newGateway(t)
+	do(t, http.MethodPut, srv.URL+"/alpha", nil)
+	do(t, http.MethodPut, srv.URL+"/beta", nil)
+	do(t, http.MethodPut, srv.URL+"/alpha/k2", []byte("y"))
+	do(t, http.MethodPut, srv.URL+"/alpha/k1", []byte("x"))
+
+	resp := do(t, http.MethodGet, srv.URL+"/", nil)
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "<Name>alpha</Name>") ||
+		!strings.Contains(string(body), "<Name>beta</Name>") {
+		t.Fatalf("list buckets: %s", body)
+	}
+	resp = do(t, http.MethodGet, srv.URL+"/alpha", nil)
+	body, _ = io.ReadAll(resp.Body)
+	s := string(body)
+	if !strings.Contains(s, "<Key>k1</Key>") || !strings.Contains(s, "<Key>k2</Key>") {
+		t.Fatalf("list objects: %s", s)
+	}
+	if strings.Index(s, "k1") > strings.Index(s, "k2") {
+		t.Fatal("keys not sorted")
+	}
+}
+
+func TestDeleteObjectAndBucket(t *testing.T) {
+	g, srv := newGateway(t)
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	do(t, http.MethodPut, srv.URL+"/b/k", []byte("data"))
+	if resp := do(t, http.MethodDelete, srv.URL+"/b", nil); resp.StatusCode != 409 {
+		t.Fatalf("delete non-empty bucket: %d", resp.StatusCode)
+	}
+	if resp := do(t, http.MethodDelete, srv.URL+"/b/k", nil); resp.StatusCode != 204 {
+		t.Fatalf("delete object: %d", resp.StatusCode)
+	}
+	if resp := do(t, http.MethodGet, srv.URL+"/b/k", nil); resp.StatusCode != 404 {
+		t.Fatalf("get after delete: %d", resp.StatusCode)
+	}
+	if resp := do(t, http.MethodDelete, srv.URL+"/b", nil); resp.StatusCode != 204 {
+		t.Fatalf("delete bucket: %d", resp.StatusCode)
+	}
+	if len(g.Buckets()) != 0 {
+		t.Fatalf("buckets=%v", g.Buckets())
+	}
+}
+
+func TestOverwriteReclaimsOldBlob(t *testing.T) {
+	g, srv := newGateway(t)
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	do(t, http.MethodPut, srv.URL+"/b/k", []byte("version-one"))
+	do(t, http.MethodPut, srv.URL+"/b/k", []byte("version-two"))
+	resp := do(t, http.MethodGet, srv.URL+"/b/k", nil)
+	got, _ := io.ReadAll(resp.Body)
+	if string(got) != "version-two" {
+		t.Fatalf("got %q", got)
+	}
+	// Exactly one blob should remain alive.
+	if n := len(g.cluster.VM.Blobs()); n != 1 {
+		t.Fatalf("live blobs=%d", n)
+	}
+}
+
+func TestEmptyObject(t *testing.T) {
+	_, srv := newGateway(t)
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	if resp := do(t, http.MethodPut, srv.URL+"/b/empty", nil); resp.StatusCode != 200 {
+		t.Fatalf("put empty: %d", resp.StatusCode)
+	}
+	resp := do(t, http.MethodGet, srv.URL+"/b/empty", nil)
+	got, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || len(got) != 0 {
+		t.Fatalf("get empty: %d %q", resp.StatusCode, got)
+	}
+}
+
+func TestAuthRequiredAndSigned(t *testing.T) {
+	rec := &instrument.Recorder{}
+	_, srv := newGateway(t,
+		WithCredentials(map[string]string{"alice": "s3cret"}),
+		WithEmitter(rec))
+	// Unsigned request rejected.
+	if resp := do(t, http.MethodGet, srv.URL+"/", nil); resp.StatusCode != 403 {
+		t.Fatalf("unsigned: %d", resp.StatusCode)
+	}
+	// Bad signature rejected.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/", nil)
+	req.Header.Set("Authorization", "AWS alice:bogus")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 403 {
+		t.Fatalf("bad sig: %d", resp.StatusCode)
+	}
+	// Properly signed request accepted.
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/", nil)
+	req.Header.Set("x-bs-date", "20260612")
+	req.Header.Set("Authorization", "AWS alice:"+Sign("s3cret", "GET", "/", "20260612"))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("signed: %d", resp.StatusCode)
+	}
+	// Auth failures were instrumented.
+	fails := 0
+	for _, e := range rec.Events() {
+		if e.Op == instrument.OpAuthFail {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("auth_fail events=%d", fails)
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	_, srv := newGateway(t)
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := bytes.Repeat([]byte{byte(i)}, 2048)
+			req, _ := http.NewRequest(http.MethodPut,
+				fmt.Sprintf("%s/b/obj%02d", srv.URL, i), bytes.NewReader(body))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("put %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		resp := do(t, http.MethodGet, fmt.Sprintf("%s/b/obj%02d", srv.URL, i), nil)
+		got, _ := io.ReadAll(resp.Body)
+		if len(got) != 2048 || got[0] != byte(i) {
+			t.Fatalf("obj%02d corrupted", i)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, srv := newGateway(t)
+	if resp := do(t, http.MethodDelete, srv.URL+"/", nil); resp.StatusCode != 405 {
+		t.Fatalf("root delete: %d", resp.StatusCode)
+	}
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	if resp := do(t, http.MethodPost, srv.URL+"/b", nil); resp.StatusCode != 405 {
+		t.Fatalf("bucket post: %d", resp.StatusCode)
+	}
+	if resp := do(t, http.MethodPost, srv.URL+"/b/k", nil); resp.StatusCode != 405 {
+		t.Fatalf("object post: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,195 @@
+// Package selfconfig implements the paper's self-configuration direction:
+// storage elasticity through dynamic data-provider deployment. A
+// Controller watches the system load exposed by the introspection layer
+// and contracts or expands the provider pool through an Actuator,
+// with hysteresis and a cooldown to avoid oscillation.
+package selfconfig
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"blobseer/internal/instrument"
+)
+
+// Actuator deploys or retires data providers. The simulator and the real
+// plane provide implementations.
+type Actuator interface {
+	// ScaleTo adjusts the pool to n providers and reports the new size.
+	ScaleTo(n int) (int, error)
+	// PoolSize returns the current number of providers.
+	PoolSize() int
+}
+
+// Decision records one elasticity decision.
+type Decision struct {
+	Time    time.Time
+	Load    float64 // observed mean load per provider
+	Before  int
+	Desired int
+	After   int
+	Acted   bool
+	Reason  string
+}
+
+// Config parameterizes the controller.
+type Config struct {
+	// TargetLoad is the desired mean concurrent transfers per provider.
+	TargetLoad float64
+	// LowWater/HighWater bound the acceptable band around TargetLoad; the
+	// controller only acts outside [LowWater, HighWater].
+	LowWater, HighWater float64
+	// Min, Max bound the pool size.
+	Min, Max int
+	// Cooldown is the minimum delay between scale actions.
+	Cooldown time.Duration
+	// MaxStep bounds how many providers one action may add or remove
+	// (0 = unbounded).
+	MaxStep int
+}
+
+// DefaultConfig returns sane defaults: target 4 transfers/provider, band
+// [2, 8], pool within [2, 1024], 30 s cooldown.
+func DefaultConfig() Config {
+	return Config{
+		TargetLoad: 4, LowWater: 2, HighWater: 8,
+		Min: 2, Max: 1024, Cooldown: 30 * time.Second, MaxStep: 16,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.TargetLoad <= 0 {
+		return errors.New("selfconfig: TargetLoad must be positive")
+	}
+	if c.LowWater < 0 || c.HighWater <= c.LowWater {
+		return fmt.Errorf("selfconfig: bad band [%v,%v]", c.LowWater, c.HighWater)
+	}
+	if !(c.LowWater <= c.TargetLoad && c.TargetLoad <= c.HighWater) {
+		return errors.New("selfconfig: TargetLoad outside band")
+	}
+	if c.Min < 1 || c.Max < c.Min {
+		return fmt.Errorf("selfconfig: bad pool bounds [%d,%d]", c.Min, c.Max)
+	}
+	return nil
+}
+
+// Controller is the elasticity control loop.
+type Controller struct {
+	cfg  Config
+	act  Actuator
+	emit instrument.Emitter
+
+	mu         sync.Mutex
+	lastAction time.Time
+	armed      bool // false until first Tick sets the baseline
+	history    []Decision
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithEmitter attaches instrumentation.
+func WithEmitter(e instrument.Emitter) Option {
+	return func(c *Controller) {
+		if e != nil {
+			c.emit = e
+		}
+	}
+}
+
+// New returns a controller; cfg is validated.
+func New(cfg Config, act Actuator, opts ...Option) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg, act: act, emit: instrument.Nop{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Tick runs one control iteration at the given instant with the observed
+// mean load per provider (from introspect.Introspector.MeanLoad). It
+// returns the decision taken.
+func (c *Controller) Tick(now time.Time, meanLoad float64) Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	size := c.act.PoolSize()
+	d := Decision{Time: now, Load: meanLoad, Before: size, After: size}
+
+	// Proportional sizing: keep total load / pool ≈ TargetLoad.
+	total := meanLoad * float64(size)
+	desired := size
+	if meanLoad > c.cfg.HighWater || meanLoad < c.cfg.LowWater {
+		desired = int(math.Ceil(total / c.cfg.TargetLoad))
+	}
+	if desired < c.cfg.Min {
+		desired = c.cfg.Min
+	}
+	if desired > c.cfg.Max {
+		desired = c.cfg.Max
+	}
+	if c.cfg.MaxStep > 0 {
+		if desired > size+c.cfg.MaxStep {
+			desired = size + c.cfg.MaxStep
+		}
+		if desired < size-c.cfg.MaxStep {
+			desired = size - c.cfg.MaxStep
+		}
+	}
+	d.Desired = desired
+
+	switch {
+	case desired == size:
+		d.Reason = "within band"
+	case c.armed && now.Sub(c.lastAction) < c.cfg.Cooldown:
+		d.Reason = "cooldown"
+	default:
+		after, err := c.act.ScaleTo(desired)
+		if err != nil {
+			d.Reason = "actuator: " + err.Error()
+			break
+		}
+		d.After = after
+		d.Acted = true
+		if desired > size {
+			d.Reason = "scale up"
+		} else {
+			d.Reason = "scale down"
+		}
+		c.lastAction = now
+		c.armed = true
+		c.emit.Emit(instrument.Event{
+			Time: now, Actor: instrument.ActorSelfConfig, Op: instrument.OpScale,
+			Value: float64(after - size),
+		})
+	}
+	c.history = append(c.history, d)
+	return d
+}
+
+// History returns the decisions taken so far.
+func (c *Controller) History() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Decision(nil), c.history...)
+}
+
+// Actions counts the decisions that actually resized the pool.
+func (c *Controller) Actions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int
+	for _, d := range c.history {
+		if d.Acted {
+			n++
+		}
+	}
+	return n
+}

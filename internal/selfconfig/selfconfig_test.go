@@ -1,0 +1,181 @@
+package selfconfig
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(s int) time.Time { return t0.Add(time.Duration(s) * time.Second) }
+
+type fakePool struct {
+	size   int
+	failTo bool
+	calls  int
+}
+
+func (p *fakePool) ScaleTo(n int) (int, error) {
+	p.calls++
+	if p.failTo {
+		return p.size, errors.New("boom")
+	}
+	p.size = n
+	return p.size, nil
+}
+func (p *fakePool) PoolSize() int { return p.size }
+
+func cfg() Config {
+	c := DefaultConfig()
+	c.Min, c.Max = 2, 100
+	c.Cooldown = 10 * time.Second
+	c.MaxStep = 0
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.TargetLoad = 0 },
+		func(c *Config) { c.HighWater = c.LowWater },
+		func(c *Config) { c.TargetLoad = c.HighWater + 1 },
+		func(c *Config) { c.Min = 0 },
+		func(c *Config) { c.Max = c.Min - 1 },
+		func(c *Config) { c.LowWater = -1 },
+	}
+	for i, mut := range cases {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+	if _, err := New(Config{}, &fakePool{size: 4}); err == nil {
+		t.Error("New should validate")
+	}
+}
+
+func TestScaleUpOnHighLoad(t *testing.T) {
+	p := &fakePool{size: 4}
+	c, err := New(cfg(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// load 16/provider with target 4 → want 16 providers
+	d := c.Tick(at(0), 16)
+	if !d.Acted || d.After != 16 {
+		t.Fatalf("decision=%+v", d)
+	}
+}
+
+func TestScaleDownOnLowLoad(t *testing.T) {
+	p := &fakePool{size: 20}
+	c, _ := New(cfg(), p)
+	d := c.Tick(at(0), 1) // 20 total load → 5 providers
+	if !d.Acted || d.After != 5 {
+		t.Fatalf("decision=%+v", d)
+	}
+}
+
+func TestNoActionWithinBand(t *testing.T) {
+	p := &fakePool{size: 10}
+	c, _ := New(cfg(), p)
+	d := c.Tick(at(0), 4)
+	if d.Acted || p.calls != 0 {
+		t.Fatalf("acted within band: %+v", d)
+	}
+	d = c.Tick(at(1), 7.9)
+	if d.Acted {
+		t.Fatalf("acted at high edge of band: %+v", d)
+	}
+}
+
+func TestCooldownSuppresses(t *testing.T) {
+	p := &fakePool{size: 4}
+	c, _ := New(cfg(), p)
+	if d := c.Tick(at(0), 16); !d.Acted {
+		t.Fatal("first action suppressed")
+	}
+	if d := c.Tick(at(5), 16); d.Acted || d.Reason != "cooldown" {
+		t.Fatalf("cooldown violated: %+v", d)
+	}
+	if d := c.Tick(at(11), 16); !d.Acted {
+		t.Fatalf("post-cooldown: %+v", d)
+	}
+}
+
+func TestPoolBounds(t *testing.T) {
+	p := &fakePool{size: 4}
+	conf := cfg()
+	conf.Max = 8
+	c, _ := New(conf, p)
+	if d := c.Tick(at(0), 100); d.After != 8 {
+		t.Fatalf("max bound: %+v", d)
+	}
+	p2 := &fakePool{size: 8}
+	c2, _ := New(conf, p2)
+	if d := c2.Tick(at(0), 0); d.After != 2 {
+		t.Fatalf("min bound: %+v", d)
+	}
+}
+
+func TestMaxStepLimitsDelta(t *testing.T) {
+	p := &fakePool{size: 4}
+	conf := cfg()
+	conf.MaxStep = 3
+	c, _ := New(conf, p)
+	if d := c.Tick(at(0), 100); d.After != 7 {
+		t.Fatalf("step bound: %+v", d)
+	}
+}
+
+func TestActuatorErrorReported(t *testing.T) {
+	p := &fakePool{size: 4, failTo: true}
+	c, _ := New(cfg(), p)
+	d := c.Tick(at(0), 16)
+	if d.Acted || d.Reason == "" {
+		t.Fatalf("error not surfaced: %+v", d)
+	}
+	// A failed action must not arm the cooldown.
+	p.failTo = false
+	if d := c.Tick(at(1), 16); !d.Acted {
+		t.Fatalf("retry suppressed: %+v", d)
+	}
+}
+
+func TestHistoryAndActions(t *testing.T) {
+	p := &fakePool{size: 4}
+	c, _ := New(cfg(), p)
+	c.Tick(at(0), 4)  // no action
+	c.Tick(at(1), 16) // action
+	if len(c.History()) != 2 {
+		t.Fatalf("history=%d", len(c.History()))
+	}
+	if c.Actions() != 1 {
+		t.Fatalf("actions=%d", c.Actions())
+	}
+}
+
+func TestOscillationDamping(t *testing.T) {
+	// Alternating load around the band must not produce an action per
+	// tick thanks to the band + cooldown.
+	p := &fakePool{size: 8}
+	c, _ := New(cfg(), p)
+	actions := 0
+	for i := 0; i < 60; i++ {
+		load := 4.0
+		if i%2 == 0 {
+			load = 8.5 // slightly above band
+		}
+		if d := c.Tick(at(i), load); d.Acted {
+			actions++
+		}
+	}
+	if actions > 7 { // one per cooldown window at most
+		t.Fatalf("oscillation: %d actions in 60 ticks", actions)
+	}
+}

@@ -1,0 +1,146 @@
+package trust
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"blobseer/internal/policy"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestUnknownUserFullyTrusted(t *testing.T) {
+	m := New()
+	if v := m.Value("nobody"); v != 1 {
+		t.Fatalf("trust=%v", v)
+	}
+}
+
+func TestViolationLowersTrust(t *testing.T) {
+	now := t0
+	m := New(WithClock(func() time.Time { return now }))
+	m.OnViolation("u", policy.High, t0)
+	if v := m.Value("u"); math.Abs(v-0.4) > 1e-9 {
+		t.Fatalf("after high violation: %v", v)
+	}
+	m.OnViolation("u", policy.High, t0)
+	if v := m.Value("u"); math.Abs(v-0.16) > 1e-9 {
+		t.Fatalf("after second violation: %v", v)
+	}
+}
+
+func TestSeverityOrdering(t *testing.T) {
+	m := New(WithClock(func() time.Time { return t0 }))
+	m.OnViolation("lo", policy.Low, t0)
+	m.OnViolation("md", policy.Medium, t0)
+	m.OnViolation("hi", policy.High, t0)
+	if !(m.Value("lo") > m.Value("md") && m.Value("md") > m.Value("hi")) {
+		t.Fatalf("severity ordering broken: %v %v %v",
+			m.Value("lo"), m.Value("md"), m.Value("hi"))
+	}
+}
+
+func TestRecoveryHalfLife(t *testing.T) {
+	now := t0
+	m := New(WithClock(func() time.Time { return now }), WithRecoveryHalfLife(10*time.Minute))
+	m.Set("u", 0.5, t0)
+	now = t0.Add(10 * time.Minute)
+	// distrust 0.5 halves → 0.25 → trust 0.75
+	if v := m.Value("u"); math.Abs(v-0.75) > 1e-9 {
+		t.Fatalf("after one half-life: %v", v)
+	}
+	now = t0.Add(100 * time.Hour)
+	if v := m.Value("u"); v < 0.999 {
+		t.Fatalf("long-run recovery: %v", v)
+	}
+}
+
+func TestRepeatOffenderStaysLow(t *testing.T) {
+	now := t0
+	m := New(WithClock(func() time.Time { return now }), WithRecoveryHalfLife(10*time.Minute))
+	for i := 0; i < 5; i++ {
+		m.OnViolation("rep", policy.High, now)
+		now = now.Add(time.Minute)
+	}
+	mOnce := New(WithClock(func() time.Time { return now }), WithRecoveryHalfLife(10*time.Minute))
+	mOnce.OnViolation("once", policy.High, t0)
+	if m.Value("rep") >= mOnce.Value("once") {
+		t.Fatalf("repeat offender (%v) not below one-off (%v)",
+			m.Value("rep"), mOnce.Value("once"))
+	}
+}
+
+func TestSetClamps(t *testing.T) {
+	m := New(WithClock(func() time.Time { return t0 }))
+	m.Set("a", -3, t0)
+	if m.Value("a") != 0 {
+		t.Fatalf("clamp low: %v", m.Value("a"))
+	}
+	m.Set("b", 7, t0)
+	if m.Value("b") != 1 {
+		t.Fatalf("clamp high: %v", m.Value("b"))
+	}
+}
+
+func TestUsersSortedByTrust(t *testing.T) {
+	m := New(WithClock(func() time.Time { return t0 }))
+	m.Set("good", 0.9, t0)
+	m.Set("bad", 0.1, t0)
+	m.Set("mid", 0.5, t0)
+	us := m.Users()
+	if len(us) != 3 || us[0] != "bad" || us[1] != "mid" || us[2] != "good" {
+		t.Fatalf("users=%v", us)
+	}
+}
+
+func TestSinkUpdatesTrustAndDelegates(t *testing.T) {
+	m := New(WithClock(func() time.Time { return t0 }))
+	en := policy.NewEnforcer(policy.WithClock(func() time.Time { return t0 }))
+	sink := Sink{Inner: en, Trust: m}
+	v := policy.Violation{Time: t0, Policy: "p", User: "u", Severity: policy.High}
+	sink.Block("u", time.Minute, v)
+	if m.Value("u") >= 1 {
+		t.Fatal("trust not lowered by sink")
+	}
+	if !en.Blocked("u") {
+		t.Fatal("inner sink not invoked")
+	}
+	sink.Log(v)
+	sink.Alert(v)
+	sink.Throttle("u", 5, v)
+	sink.Quarantine("u", v)
+	if len(en.Violations()) != 1 || len(en.Alerts()) != 1 {
+		t.Fatal("delegation incomplete")
+	}
+}
+
+// Property: trust always stays in [0,1] under arbitrary violation and
+// recovery sequences.
+func TestTrustBoundsProperty(t *testing.T) {
+	f := func(steps []uint8) bool {
+		now := t0
+		m := New(WithClock(func() time.Time { return now }))
+		for _, s := range steps {
+			switch s % 4 {
+			case 0:
+				m.OnViolation("u", policy.Low, now)
+			case 1:
+				m.OnViolation("u", policy.Medium, now)
+			case 2:
+				m.OnViolation("u", policy.High, now)
+			case 3:
+				now = now.Add(time.Duration(s) * time.Second)
+			}
+			v := m.Value("u")
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

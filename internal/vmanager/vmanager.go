@@ -1,0 +1,409 @@
+// Package vmanager implements BlobSeer's version manager: the actor that
+// serializes concurrent write requests and publishes a new BLOB version
+// for each write or append.
+//
+// The protocol mirrors BlobSeer's: a writer first asks for a version
+// ticket (Assign), then transfers its chunks to data providers in
+// parallel, and finally submits the chunk descriptors (Publish). The
+// version manager applies publications strictly in version order, so a
+// version becomes visible only after all its predecessors, which yields
+// total-order snapshot semantics without blocking readers.
+package vmanager
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"blobseer/internal/blobmeta"
+	"blobseer/internal/chunk"
+	"blobseer/internal/instrument"
+)
+
+// Errors returned by the version manager.
+var (
+	ErrNoBlob        = errors.New("vmanager: unknown blob")
+	ErrBadVersion    = errors.New("vmanager: version was never assigned")
+	ErrDoublePublish = errors.New("vmanager: version already published or pending")
+	ErrDeleted       = errors.New("vmanager: blob deleted")
+)
+
+// BlobInfo describes a BLOB.
+type BlobInfo struct {
+	ID        uint64
+	Owner     string
+	ChunkSize int64
+	Created   time.Time
+	Temporary bool // candidate for the "temporary data" removal strategy
+}
+
+// VersionMeta describes one published version.
+type VersionMeta struct {
+	Version   uint64
+	Size      int64 // BLOB size as of this version
+	Writer    string
+	Published time.Time
+}
+
+// Ticket is a write admission: the assigned version, the offset the write
+// lands at (resolved for appends) and the BLOB's chunk size.
+type Ticket struct {
+	Blob      uint64
+	Version   uint64
+	Offset    int64
+	ChunkSize int64
+}
+
+type pendingPub struct {
+	writes map[int64]chunk.Desc
+	writer string
+}
+
+type blobState struct {
+	info     BlobInfo
+	tree     *blobmeta.Tree
+	nextVer  uint64           // next version to assign (first assigned is 1)
+	applied  uint64           // highest published (contiguous) version
+	tail     int64            // end offset over all *assigned* writes
+	ends     map[uint64]int64 // assigned version -> end offset of its write
+	queued   map[uint64]pendingPub
+	versions map[uint64]VersionMeta
+	deleted  bool
+}
+
+// Manager is the version-manager actor.
+type Manager struct {
+	mu       sync.Mutex
+	store    blobmeta.Store
+	span     int64
+	emit     instrument.Emitter
+	now      func() time.Time
+	nextBlob uint64
+	blobs    map[uint64]*blobState
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithEmitter attaches instrumentation.
+func WithEmitter(e instrument.Emitter) Option {
+	return func(m *Manager) {
+		if e != nil {
+			m.emit = e
+		}
+	}
+}
+
+// WithClock overrides the time source.
+func WithClock(now func() time.Time) Option {
+	return func(m *Manager) {
+		if now != nil {
+			m.now = now
+		}
+	}
+}
+
+// WithSpan overrides the metadata-tree span (testing).
+func WithSpan(span int64) Option {
+	return func(m *Manager) { m.span = span }
+}
+
+// New returns a version manager persisting metadata into store.
+func New(store blobmeta.Store, opts ...Option) *Manager {
+	m := &Manager{
+		store: store,
+		emit:  instrument.Nop{},
+		now:   time.Now,
+		blobs: make(map[uint64]*blobState),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Create registers a new BLOB and returns its description.
+func (m *Manager) Create(owner string, chunkSize int64, temporary bool) (BlobInfo, error) {
+	if chunkSize <= 0 {
+		chunkSize = chunk.DefaultSize
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextBlob++
+	id := m.nextBlob
+	tree, err := blobmeta.NewTree(m.store, id, m.span)
+	if err != nil {
+		return BlobInfo{}, err
+	}
+	info := BlobInfo{ID: id, Owner: owner, ChunkSize: chunkSize, Created: m.now(), Temporary: temporary}
+	m.blobs[id] = &blobState{
+		info:     info,
+		tree:     tree,
+		nextVer:  1,
+		ends:     make(map[uint64]int64),
+		queued:   make(map[uint64]pendingPub),
+		versions: map[uint64]VersionMeta{0: {Version: 0, Published: info.Created}},
+	}
+	m.emit.Emit(instrument.Event{
+		Time: m.now(), Actor: instrument.ActorVManager, User: owner,
+		Op: instrument.OpCreate, Blob: id,
+	})
+	return info, nil
+}
+
+func (m *Manager) state(blob uint64) (*blobState, error) {
+	st, ok := m.blobs[blob]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoBlob, blob)
+	}
+	if st.deleted {
+		return nil, fmt.Errorf("%w: %d", ErrDeleted, blob)
+	}
+	return st, nil
+}
+
+// Info returns the BLOB description.
+func (m *Manager) Info(blob uint64) (BlobInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.state(blob)
+	if err != nil {
+		return BlobInfo{}, err
+	}
+	return st.info, nil
+}
+
+// Blobs lists live BLOB IDs in ascending order.
+func (m *Manager) Blobs() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, 0, len(m.blobs))
+	for id, st := range m.blobs {
+		if !st.deleted {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AssignWrite admits a write of length bytes at a fixed offset and
+// returns its ticket.
+func (m *Manager) AssignWrite(blob uint64, user string, offset, length int64) (Ticket, error) {
+	if offset < 0 || length < 0 {
+		return Ticket{}, fmt.Errorf("vmanager: negative offset or length")
+	}
+	return m.assign(blob, user, offset, length, false)
+}
+
+// AssignAppend admits an append of length bytes; the offset is resolved
+// against the end of the last assigned write, so concurrent appends get
+// disjoint ranges (BlobSeer's append semantics).
+func (m *Manager) AssignAppend(blob uint64, user string, length int64) (Ticket, error) {
+	if length < 0 {
+		return Ticket{}, fmt.Errorf("vmanager: negative length")
+	}
+	return m.assign(blob, user, -1, length, true)
+}
+
+func (m *Manager) assign(blob uint64, user string, offset, length int64, isAppend bool) (Ticket, error) {
+	m.mu.Lock()
+	st, err := m.state(blob)
+	if err != nil {
+		m.mu.Unlock()
+		return Ticket{}, err
+	}
+	if isAppend {
+		offset = st.tail
+	}
+	v := st.nextVer
+	st.nextVer++
+	end := offset + length
+	st.ends[v] = end
+	if end > st.tail {
+		st.tail = end
+	}
+	t := Ticket{Blob: blob, Version: v, Offset: offset, ChunkSize: st.info.ChunkSize}
+	m.mu.Unlock()
+	op := instrument.OpAssign
+	m.emit.Emit(instrument.Event{
+		Time: m.now(), Actor: instrument.ActorVManager, User: user,
+		Op: op, Blob: blob, Version: v, Offset: offset, Bytes: length,
+	})
+	return t, nil
+}
+
+// Publish submits the chunk descriptors of an assigned version. The
+// version becomes visible once all predecessors have been published;
+// until then it is queued. writes maps chunk index → descriptor.
+func (m *Manager) Publish(blob uint64, version uint64, writer string, writes map[int64]chunk.Desc) error {
+	m.mu.Lock()
+	st, err := m.state(blob)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	if version == 0 || version >= st.nextVer {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	if version <= st.applied {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrDoublePublish, version)
+	}
+	if _, dup := st.queued[version]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrDoublePublish, version)
+	}
+	st.queued[version] = pendingPub{writes: writes, writer: writer}
+	published, err := m.drainLocked(st)
+	m.mu.Unlock()
+	for _, v := range published {
+		m.emit.Emit(instrument.Event{
+			Time: m.now(), Actor: instrument.ActorVManager, User: writer,
+			Op: instrument.OpPublish, Blob: blob, Version: v,
+		})
+	}
+	return err
+}
+
+// Abort publishes an empty write for an assigned version, unblocking the
+// chain when a writer dies after Assign.
+func (m *Manager) Abort(blob uint64, version uint64) error {
+	return m.Publish(blob, version, "", nil)
+}
+
+// drainLocked applies queued publications in version order starting at
+// applied+1. Returns the versions made visible.
+func (m *Manager) drainLocked(st *blobState) ([]uint64, error) {
+	var published []uint64
+	for {
+		next := st.applied + 1
+		pub, ok := st.queued[next]
+		if !ok {
+			return published, nil
+		}
+		if err := st.tree.Write(next, st.applied, pub.writes); err != nil {
+			return published, err
+		}
+		delete(st.queued, next)
+		size := st.versions[st.applied].Size
+		if end := st.ends[next]; end > size && len(pub.writes) > 0 {
+			size = end
+		}
+		delete(st.ends, next)
+		st.versions[next] = VersionMeta{
+			Version: next, Size: size, Writer: pub.writer, Published: m.now(),
+		}
+		st.applied = next
+		published = append(published, next)
+	}
+}
+
+// Latest returns the newest published version's metadata.
+func (m *Manager) Latest(blob uint64) (VersionMeta, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.state(blob)
+	if err != nil {
+		return VersionMeta{}, err
+	}
+	return st.versions[st.applied], nil
+}
+
+// Version returns the metadata of one published version.
+func (m *Manager) Version(blob, version uint64) (VersionMeta, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.state(blob)
+	if err != nil {
+		return VersionMeta{}, err
+	}
+	vm, ok := st.versions[version]
+	if !ok {
+		return VersionMeta{}, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	return vm, nil
+}
+
+// Versions lists the published versions of a BLOB in ascending order.
+func (m *Manager) Versions(blob uint64) ([]VersionMeta, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.state(blob)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]VersionMeta, 0, len(st.versions))
+	for _, vm := range st.versions {
+		out = append(out, vm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out, nil
+}
+
+// PendingCount returns the number of assigned-but-unpublished versions
+// (a health signal for the monitoring layer).
+func (m *Manager) PendingCount(blob uint64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.state(blob)
+	if err != nil {
+		return 0, err
+	}
+	return int(st.nextVer - 1 - st.applied), nil
+}
+
+// Tree exposes the metadata tree of a BLOB for read-side components
+// (client reads, replication scans).
+func (m *Manager) Tree(blob uint64) (*blobmeta.Tree, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.state(blob)
+	if err != nil {
+		return nil, err
+	}
+	return st.tree, nil
+}
+
+// Delete marks a BLOB deleted and returns the distinct chunk descriptors
+// reachable from all its published versions so the caller can reclaim
+// provider space (used by the self-optimization removal strategies).
+func (m *Manager) Delete(blob uint64) ([]chunk.Desc, error) {
+	m.mu.Lock()
+	st, err := m.state(blob)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	st.deleted = true
+	tree := st.tree
+	versions := make([]uint64, 0, len(st.versions))
+	for v := range st.versions {
+		if v > 0 {
+			versions = append(versions, v)
+		}
+	}
+	m.mu.Unlock()
+
+	seen := map[chunk.ID]bool{}
+	var out []chunk.Desc
+	for _, v := range versions {
+		err := tree.Walk(v, 0, tree.Span(), func(_ int64, d chunk.Desc) error {
+			if !seen[d.ID] {
+				seen[d.ID] = true
+				out = append(out, d)
+			}
+			return nil
+		})
+		if err != nil {
+			return out, err
+		}
+	}
+	m.emit.Emit(instrument.Event{
+		Time: m.now(), Actor: instrument.ActorVManager, Op: instrument.OpDelete, Blob: blob,
+	})
+	return out, nil
+}

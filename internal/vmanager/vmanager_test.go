@@ -1,0 +1,316 @@
+package vmanager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"blobseer/internal/blobmeta"
+	"blobseer/internal/chunk"
+	"blobseer/internal/instrument"
+)
+
+func newMgr(t *testing.T) *Manager {
+	t.Helper()
+	return New(blobmeta.NewMemStore("m1", nil, nil), WithSpan(1024))
+}
+
+func desc(tag string) chunk.Desc {
+	return chunk.Desc{ID: chunk.Sum([]byte(tag)), Size: int64(len(tag)), Providers: []string{"p1"}}
+}
+
+func TestCreateAndInfo(t *testing.T) {
+	m := newMgr(t)
+	info, err := m.Create("alice", 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != 1 || info.Owner != "alice" || info.ChunkSize != 64 {
+		t.Fatalf("info=%+v", info)
+	}
+	got, err := m.Info(info.ID)
+	if err != nil || got.ID != info.ID {
+		t.Fatalf("Info: %+v %v", got, err)
+	}
+	if _, err := m.Info(99); !errors.Is(err, ErrNoBlob) {
+		t.Fatalf("want ErrNoBlob, got %v", err)
+	}
+}
+
+func TestCreateDefaultChunkSize(t *testing.T) {
+	m := newMgr(t)
+	info, err := m.Create("a", 0, false)
+	if err != nil || info.ChunkSize != chunk.DefaultSize {
+		t.Fatalf("info=%+v err=%v", info, err)
+	}
+}
+
+func TestWritePublishRead(t *testing.T) {
+	m := newMgr(t)
+	info, _ := m.Create("alice", 64, false)
+	tk, err := m.AssignWrite(info.ID, "alice", 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Version != 1 || tk.Offset != 0 || tk.ChunkSize != 64 {
+		t.Fatalf("ticket=%+v", tk)
+	}
+	err = m.Publish(info.ID, tk.Version, "alice", map[int64]chunk.Desc{0: desc("c0"), 1: desc("c1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest, err := m.Latest(info.ID)
+	if err != nil || latest.Version != 1 || latest.Size != 128 {
+		t.Fatalf("latest=%+v err=%v", latest, err)
+	}
+	tree, err := m.Tree(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := tree.Read(1, 0, 2)
+	if err != nil || ds[0].ID != desc("c0").ID || ds[1].ID != desc("c1").ID {
+		t.Fatalf("read: %v %v", ds, err)
+	}
+}
+
+func TestOutOfOrderPublish(t *testing.T) {
+	m := newMgr(t)
+	info, _ := m.Create("a", 64, false)
+	t1, _ := m.AssignWrite(info.ID, "a", 0, 64)
+	t2, _ := m.AssignWrite(info.ID, "b", 64, 64)
+	t3, _ := m.AssignWrite(info.ID, "c", 128, 64)
+
+	// Publish 3 and 2 first: nothing visible until 1 lands.
+	if err := m.Publish(info.ID, t3.Version, "c", map[int64]chunk.Desc{2: desc("c2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Publish(info.ID, t2.Version, "b", map[int64]chunk.Desc{1: desc("c1")}); err != nil {
+		t.Fatal(err)
+	}
+	latest, _ := m.Latest(info.ID)
+	if latest.Version != 0 {
+		t.Fatalf("premature visibility: latest=%+v", latest)
+	}
+	if err := m.Publish(info.ID, t1.Version, "a", map[int64]chunk.Desc{0: desc("c0")}); err != nil {
+		t.Fatal(err)
+	}
+	latest, _ = m.Latest(info.ID)
+	if latest.Version != 3 || latest.Size != 192 {
+		t.Fatalf("after drain: latest=%+v", latest)
+	}
+}
+
+func TestAppendResolvesDisjointOffsets(t *testing.T) {
+	m := newMgr(t)
+	info, _ := m.Create("a", 64, false)
+	t1, err := m.AssignAppend(info.ID, "u1", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := m.AssignAppend(info.ID, "u2", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Offset != 0 || t2.Offset != 100 {
+		t.Fatalf("append offsets: %d %d", t1.Offset, t2.Offset)
+	}
+	// A write that does not extend the tail must not move appends back.
+	if _, err := m.AssignWrite(info.ID, "u3", 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	t4, _ := m.AssignAppend(info.ID, "u4", 1)
+	if t4.Offset != 150 {
+		t.Fatalf("tail after small overwrite: %d", t4.Offset)
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	m := newMgr(t)
+	info, _ := m.Create("a", 64, false)
+	if err := m.Publish(info.ID, 1, "a", nil); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("unassigned publish: %v", err)
+	}
+	tk, _ := m.AssignWrite(info.ID, "a", 0, 64)
+	if err := m.Publish(info.ID, tk.Version, "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Publish(info.ID, tk.Version, "a", nil); !errors.Is(err, ErrDoublePublish) {
+		t.Fatalf("double publish: %v", err)
+	}
+	if err := m.Publish(99, 1, "a", nil); !errors.Is(err, ErrNoBlob) {
+		t.Fatalf("publish to unknown blob: %v", err)
+	}
+	// queued duplicate
+	a, _ := m.AssignWrite(info.ID, "a", 0, 64)
+	b, _ := m.AssignWrite(info.ID, "a", 0, 64)
+	_ = a
+	if err := m.Publish(info.ID, b.Version, "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Publish(info.ID, b.Version, "a", nil); !errors.Is(err, ErrDoublePublish) {
+		t.Fatalf("queued double publish: %v", err)
+	}
+}
+
+func TestAbortUnblocksChain(t *testing.T) {
+	m := newMgr(t)
+	info, _ := m.Create("a", 64, false)
+	t1, _ := m.AssignWrite(info.ID, "dead", 0, 64)
+	t2, _ := m.AssignWrite(info.ID, "live", 64, 64)
+	if err := m.Publish(info.ID, t2.Version, "live", map[int64]chunk.Desc{1: desc("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Abort(info.ID, t1.Version); err != nil {
+		t.Fatal(err)
+	}
+	latest, _ := m.Latest(info.ID)
+	if latest.Version != 2 {
+		t.Fatalf("latest=%+v", latest)
+	}
+	// Aborted write contributes no size.
+	v1, _ := m.Version(info.ID, 1)
+	if v1.Size != 0 {
+		t.Fatalf("aborted version size=%d", v1.Size)
+	}
+}
+
+func TestVersionsAndPending(t *testing.T) {
+	m := newMgr(t)
+	info, _ := m.Create("a", 64, false)
+	t1, _ := m.AssignWrite(info.ID, "a", 0, 64)
+	if n, _ := m.PendingCount(info.ID); n != 1 {
+		t.Fatalf("pending=%d", n)
+	}
+	if err := m.Publish(info.ID, t1.Version, "a", map[int64]chunk.Desc{0: desc("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := m.PendingCount(info.ID); n != 0 {
+		t.Fatalf("pending=%d", n)
+	}
+	vs, err := m.Versions(info.ID)
+	if err != nil || len(vs) != 2 { // v0 + v1
+		t.Fatalf("versions=%v err=%v", vs, err)
+	}
+	if _, err := m.Version(info.ID, 9); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestNegativeArgs(t *testing.T) {
+	m := newMgr(t)
+	info, _ := m.Create("a", 64, false)
+	if _, err := m.AssignWrite(info.ID, "a", -1, 10); err == nil {
+		t.Fatal("want error for negative offset")
+	}
+	if _, err := m.AssignWrite(info.ID, "a", 0, -1); err == nil {
+		t.Fatal("want error for negative length")
+	}
+	if _, err := m.AssignAppend(info.ID, "a", -1); err == nil {
+		t.Fatal("want error for negative append length")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := newMgr(t)
+	info, _ := m.Create("a", 64, false)
+	t1, _ := m.AssignWrite(info.ID, "a", 0, 128)
+	if err := m.Publish(info.ID, t1.Version, "a",
+		map[int64]chunk.Desc{0: desc("c0"), 1: desc("c1")}); err != nil {
+		t.Fatal(err)
+	}
+	descs, err := m.Delete(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 2 {
+		t.Fatalf("reclaim set=%d", len(descs))
+	}
+	if _, err := m.Info(info.ID); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("want ErrDeleted, got %v", err)
+	}
+	if _, err := m.Latest(info.ID); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("want ErrDeleted, got %v", err)
+	}
+	ids := m.Blobs()
+	if len(ids) != 0 {
+		t.Fatalf("blobs=%v", ids)
+	}
+}
+
+func TestBlobsSorted(t *testing.T) {
+	m := newMgr(t)
+	for i := 0; i < 5; i++ {
+		if _, err := m.Create(fmt.Sprintf("u%d", i), 64, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := m.Blobs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("unsorted: %v", ids)
+		}
+	}
+}
+
+func TestConcurrentWritersSerialize(t *testing.T) {
+	m := newMgr(t)
+	info, _ := m.Create("a", 64, false)
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tk, err := m.AssignAppend(info.ID, fmt.Sprintf("u%d", w), 64)
+			if err != nil {
+				errs <- err
+				return
+			}
+			idx := tk.Offset / 64
+			errs <- m.Publish(info.ID, tk.Version, "", map[int64]chunk.Desc{idx: desc(fmt.Sprintf("w%d", w))})
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest, _ := m.Latest(info.ID)
+	if latest.Version != writers || latest.Size != writers*64 {
+		t.Fatalf("latest=%+v", latest)
+	}
+	// Every chunk slot must be filled: appends got disjoint offsets.
+	tree, _ := m.Tree(info.ID)
+	ds, err := tree.Read(latest.Version, 0, writers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range ds {
+		if d.ID.IsZero() {
+			t.Fatalf("hole at slot %d after %d appends", i, writers)
+		}
+	}
+}
+
+func TestEventsEmitted(t *testing.T) {
+	rec := &instrument.Recorder{}
+	m := New(blobmeta.NewMemStore("m1", nil, nil), WithSpan(64), WithEmitter(rec))
+	info, _ := m.Create("a", 64, false)
+	tk, _ := m.AssignWrite(info.ID, "a", 0, 64)
+	if err := m.Publish(info.ID, tk.Version, "a", map[int64]chunk.Desc{0: desc("x")}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[instrument.Op]bool{}
+	for _, e := range rec.Events() {
+		want[e.Op] = true
+	}
+	for _, op := range []instrument.Op{instrument.OpCreate, instrument.OpAssign, instrument.OpPublish} {
+		if !want[op] {
+			t.Errorf("missing event %s", op)
+		}
+	}
+}
