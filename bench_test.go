@@ -14,6 +14,7 @@ import (
 
 	"blobseer/internal/blobmeta"
 	"blobseer/internal/chunk"
+	"blobseer/internal/client"
 	"blobseer/internal/cloudsim"
 	"blobseer/internal/core"
 	"blobseer/internal/experiments"
@@ -331,6 +332,131 @@ func BenchmarkClientWriteRealPlane(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := cl.Write(info.ID, 0, payload); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// delayDir models per-operation provider round-trip time on top of the
+// real plane: every Store/Fetch sleeps for the configured RTT before
+// hitting the in-process provider, the way a LAN deployment would pay a
+// network round trip per chunk transfer. Latency modeled this way
+// parallelizes (sleeps overlap), so the benchmark exposes how well the
+// client hides per-replica latency — the quantity that matters in the
+// paper's Grid'5000 setting — even on a small CPU budget.
+type delayDir struct {
+	inner client.Directory
+	rtt   time.Duration
+}
+
+type delayConn struct {
+	inner client.Conn
+	rtt   time.Duration
+}
+
+func (d delayDir) Lookup(id string) (client.Conn, error) {
+	conn, err := d.inner.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return delayConn{conn, d.rtt}, nil
+}
+
+func (c delayConn) Store(user string, id chunk.ID, data []byte) error {
+	time.Sleep(c.rtt)
+	return c.inner.Store(user, id, data)
+}
+
+func (c delayConn) Fetch(user string, id chunk.ID) ([]byte, error) {
+	time.Sleep(c.rtt)
+	return c.inner.Fetch(user, id)
+}
+
+// benchPlanes is the provider-RTT grid the client benchmarks run over:
+// the raw in-process plane (hashing-bound) and a modeled LAN plane
+// (latency-bound, where replica fan-out pays off).
+var benchPlanes = []struct {
+	name string
+	rtt  time.Duration
+}{
+	{"mem", 0},
+	{"lan", 250 * time.Microsecond},
+}
+
+// BenchmarkClientWriteReplicated measures the replicated, unaligned
+// write path on the real plane: replica stores fan out in parallel per
+// chunk, bounded by the client worker pool, and the unaligned offset
+// forces the edge-chunk merge. The plane × replicas × workers grid
+// shows the win of the parallel data path over serial replica pushes.
+func BenchmarkClientWriteReplicated(b *testing.B) {
+	for _, plane := range benchPlanes {
+		for _, replicas := range []int{1, 3} {
+			for _, workers := range []int{1, 8} {
+				name := fmt.Sprintf("plane=%s/replicas=%d/workers=%d", plane.name, replicas, workers)
+				b.Run(name, func(b *testing.B) {
+					cluster, err := core.NewCluster(core.Options{
+						Providers: 8, Monitoring: false, Replicas: replicas,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cl := client.New("bench", cluster.VM, cluster.PM,
+						delayDir{cluster, plane.rtt},
+						client.WithReplicas(replicas), client.WithWorkers(workers))
+					info, _ := cl.Create(64 << 10)
+					payload := bytes.Repeat([]byte("w"), 512<<10)
+					b.SetBytes(int64(len(payload)))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := cl.Write(info.ID, 37, payload); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkClientReadParallel measures concurrent readers over a
+// replicated blob — the path that exercises the slice-copy read
+// assembly, the striped provider store and, when enabled, hedged
+// replica fetches.
+func BenchmarkClientReadParallel(b *testing.B) {
+	for _, plane := range benchPlanes {
+		for _, hedged := range []bool{false, true} {
+			for _, workers := range []int{1, 8} {
+				name := fmt.Sprintf("plane=%s/hedged=%v/workers=%d", plane.name, hedged, workers)
+				b.Run(name, func(b *testing.B) {
+					cluster, err := core.NewCluster(core.Options{
+						Providers: 8, Monitoring: false, Replicas: 3,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					wr := cluster.Client("bench")
+					info, _ := wr.Create(64 << 10)
+					payload := bytes.Repeat([]byte("r"), 1<<20)
+					if _, err := wr.Write(info.ID, 0, payload); err != nil {
+						b.Fatal(err)
+					}
+					b.SetBytes(int64(len(payload)))
+					b.ResetTimer()
+					b.RunParallel(func(pb *testing.PB) {
+						cl := client.New("bench", cluster.VM, cluster.PM,
+							delayDir{cluster, plane.rtt},
+							client.WithWorkers(workers), client.WithHedgedReads(hedged))
+						for pb.Next() {
+							got, err := cl.Read(info.ID, 0, 0, int64(len(payload)))
+							if err != nil {
+								b.Fatal(err)
+							}
+							if len(got) != len(payload) {
+								b.Fatal("short read")
+							}
+						}
+					})
+				})
+			}
 		}
 	}
 }

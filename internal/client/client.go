@@ -19,7 +19,7 @@ import (
 // Errors returned by the client.
 var (
 	ErrBlocked     = errors.New("client: user is blocked by the security framework")
-	ErrNoReplica   = errors.New("client: no replica could be stored")
+	ErrNoReplica   = errors.New("client: replica stores fell short of the write quorum")
 	ErrUnavailable = errors.New("client: all replicas unavailable")
 	ErrShortRead   = errors.New("client: range extends past blob size")
 )
@@ -66,6 +66,8 @@ type Client struct {
 	now      func() time.Time
 	replicas int
 	workers  int
+	quorum   int  // successful replica stores required per chunk (0 = all)
+	hedged   bool // fetch all replicas concurrently, first success wins
 }
 
 // Option configures a Client.
@@ -107,13 +109,36 @@ func WithClock(now func() time.Time) Option {
 	}
 }
 
-// WithWorkers bounds parallel chunk transfers (default 8).
+// WithWorkers bounds parallel chunk transfers (default 8). Each
+// in-flight chunk additionally fans its replica stores out in
+// parallel, so concurrent provider operations can reach
+// workers × replicas.
 func WithWorkers(n int) Option {
 	return func(c *Client) {
 		if n > 0 {
 			c.workers = n
 		}
 	}
+}
+
+// WithWriteQuorum sets how many replica stores must succeed for each
+// chunk before a write publishes (default: all replicas). Replicas are
+// always attempted in parallel on every placement target; a quorum below
+// the replication degree only relaxes how many must land, trading
+// durability for availability under provider failures.
+func WithWriteQuorum(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.quorum = n
+		}
+	}
+}
+
+// WithHedgedReads makes fetchReplica race all replicas of a chunk
+// concurrently and return the first success, instead of the default
+// serial failover. Hedging trades provider load for tail latency.
+func WithHedgedReads(on bool) Option {
+	return func(c *Client) { c.hedged = on }
 }
 
 // New returns a client for user backed by the given actors.
@@ -213,21 +238,12 @@ func (c *Client) transferAndPublish(tk vmanager.Ticket, op instrument.Op, data [
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			id := chunk.Sum(p.Data)
-			var stored []string
-			for _, pid := range placement[i] {
-				conn, err := c.dir.Lookup(pid)
-				if err != nil {
-					continue
-				}
-				if err := conn.Store(c.user, id, p.Data); err == nil {
-					stored = append(stored, pid)
-				}
-			}
+			stored, err := c.storeReplicas(id, p.Data, placement[i])
 			mu.Lock()
 			defer mu.Unlock()
-			if len(stored) == 0 {
+			if err != nil {
 				if firstErr == nil {
-					firstErr = fmt.Errorf("%w: chunk %d", ErrNoReplica, p.Index)
+					firstErr = fmt.Errorf("chunk %d: %w", p.Index, err)
 				}
 				return
 			}
@@ -253,6 +269,46 @@ func (c *Client) transferAndPublish(tk vmanager.Ticket, op instrument.Op, data [
 	return tk.Version, nil
 }
 
+// storeReplicas pushes one chunk to every placement target in parallel
+// and returns the providers that accepted it, in placement order
+// (primary first). It fails when fewer than the write quorum landed,
+// wrapping the per-replica causes — lookup failures included — so a
+// fully failed chunk reports why.
+func (c *Client) storeReplicas(id chunk.ID, data []byte, targets []string) ([]string, error) {
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for k, pid := range targets {
+		wg.Add(1)
+		go func(k int, pid string) {
+			defer wg.Done()
+			conn, err := c.dir.Lookup(pid)
+			if err != nil {
+				errs[k] = fmt.Errorf("lookup %s: %w", pid, err)
+				return
+			}
+			if err := conn.Store(c.user, id, data); err != nil {
+				errs[k] = fmt.Errorf("store %s: %w", pid, err)
+			}
+		}(k, pid)
+	}
+	wg.Wait()
+	stored := make([]string, 0, len(targets))
+	for k := range targets {
+		if errs[k] == nil {
+			stored = append(stored, targets[k])
+		}
+	}
+	need := c.quorum
+	if need <= 0 || need > len(targets) {
+		need = len(targets)
+	}
+	if len(stored) < need {
+		return nil, fmt.Errorf("%w: %d/%d replicas stored, quorum %d: %w",
+			ErrNoReplica, len(stored), len(targets), need, errors.Join(errs...))
+	}
+	return stored, nil
+}
+
 // mergePartials turns edge pieces that only partially cover their chunk
 // slot into full-slot pieces by reading the current content underneath.
 func (c *Client) mergePartials(tk vmanager.Ticket, pieces []chunk.Piece) ([]chunk.Piece, error) {
@@ -265,32 +321,113 @@ func (c *Client) mergePartials(tk vmanager.Ticket, pieces []chunk.Piece) ([]chun
 	}
 	out := make([]chunk.Piece, len(pieces))
 	copy(out, pieces)
+	// Only the first and last piece can be partial; collect them, then
+	// batch their base reads (one tree handle, parallel fetches) instead
+	// of issuing one full metadata+fetch round trip per edge piece.
+	type edge struct {
+		i      int
+		within int64 // piece offset within its chunk slot
+	}
+	var edges []edge
 	for i := range out {
 		p := &out[i]
-		slotLo, _ := chunk.SlotRange(p.Index, tk.ChunkSize)
-		var within int64 // piece offset within slot
+		var within int64
 		if i == 0 {
+			slotLo, _ := chunk.SlotRange(p.Index, tk.ChunkSize)
 			within = tk.Offset - slotLo
 		}
 		if within == 0 && int64(len(p.Data)) == tk.ChunkSize {
 			continue // already full
 		}
+		edges = append(edges, edge{i, within})
+	}
+	if len(edges) == 0 {
+		return out, nil
+	}
+	indices := make([]int64, len(edges))
+	for k, e := range edges {
+		indices[k] = out[e.i].Index
+	}
+	bases, err := c.readBaseSlots(tk.Blob, latest, tk.ChunkSize, indices)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
+		p := &out[e.i]
+		base := bases[p.Index]
 		// Slot end is bounded by what exists plus what we write.
-		end := within + int64(len(p.Data))
-		base, err := c.readRaw(tk.Blob, latest.Version, latest.Size, slotLo, tk.ChunkSize)
-		if err != nil {
-			return nil, err
-		}
 		buf := make([]byte, tk.ChunkSize)
 		copy(buf, base)
-		copy(buf[within:], p.Data)
-		valid := end
+		copy(buf[e.within:], p.Data)
+		valid := e.within + int64(len(p.Data))
 		if int64(len(base)) > valid {
 			valid = int64(len(base))
 		}
 		p.Data = buf[:valid]
 	}
 	return out, nil
+}
+
+// readBaseSlots reads the current content of the given chunk slots from
+// the latest published version, zero-filling holes. The result maps each
+// slot index to its existing bytes (nil when the version ends before the
+// slot). All slots share one metadata-tree handle and their chunk
+// fetches run in parallel.
+func (c *Client) readBaseSlots(blob uint64, latest vmanager.VersionMeta, chunkSize int64, indices []int64) (map[int64][]byte, error) {
+	bases := make(map[int64][]byte, len(indices))
+	if latest.Version == 0 {
+		return bases, nil
+	}
+	var live []int64
+	for _, idx := range indices {
+		if slotLo, _ := chunk.SlotRange(idx, chunkSize); slotLo < latest.Size {
+			live = append(live, idx)
+		}
+	}
+	if len(live) == 0 {
+		return bases, nil
+	}
+	tree, err := c.vm.Tree(blob)
+	if err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for _, idx := range live {
+		wg.Add(1)
+		go func(idx int64) {
+			defer wg.Done()
+			slotLo, _ := chunk.SlotRange(idx, chunkSize)
+			baseLen := chunkSize
+			if latest.Size-slotLo < baseLen {
+				baseLen = latest.Size - slotLo
+			}
+			buf := make([]byte, baseLen)
+			descs, err := tree.Read(latest.Version, idx, idx+1)
+			if err == nil && len(descs) == 1 && !descs[0].ID.IsZero() {
+				var data []byte
+				data, err = c.fetchReplica(descs[0])
+				if err == nil {
+					copy(buf, data)
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			bases[idx] = buf
+		}(idx)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return bases, nil
 }
 
 // Read returns length bytes at offset from the given version (0 = latest
@@ -359,22 +496,6 @@ func (c *Client) readRange(blob, version uint64, offset, length int64) ([]byte, 
 	return c.readRawChecked(blob, version, vm.Size, offset, length, info.ChunkSize)
 }
 
-// readRaw reads up to length bytes at offset, clamped to the version
-// size; it returns fewer bytes when the version ends first.
-func (c *Client) readRaw(blob, version uint64, size, offset, length int64) ([]byte, error) {
-	if version == 0 || offset >= size {
-		return nil, nil
-	}
-	info, err := c.vm.Info(blob)
-	if err != nil {
-		return nil, err
-	}
-	if offset+length > size {
-		length = size - offset
-	}
-	return c.readRawChecked(blob, version, size, offset, length, info.ChunkSize)
-}
-
 func (c *Client) readRawChecked(blob, version uint64, size, offset, length, chunkSize int64) ([]byte, error) {
 	if length == 0 {
 		return nil, nil
@@ -421,21 +542,35 @@ func (c *Client) readRawChecked(blob, version uint64, size, offset, length, chun
 	}
 	out := make([]byte, length)
 	for i := range descs {
-		slotLo, _ := chunk.SlotRange(loIdx+int64(i), chunkSize)
 		data := chunks[i]
-		for j := 0; j < len(data); j++ {
-			abs := slotLo + int64(j)
-			if abs < offset || abs >= offset+length {
-				continue
-			}
-			out[abs-offset] = data[j]
+		if len(data) == 0 {
+			continue
 		}
+		// Copy the overlap of [slotLo, slotLo+len(data)) with the
+		// requested window [offset, offset+length) in one shot.
+		slotLo, _ := chunk.SlotRange(loIdx+int64(i), chunkSize)
+		lo, hi := slotLo, slotLo+int64(len(data))
+		if lo < offset {
+			lo = offset
+		}
+		if hi > offset+length {
+			hi = offset + length
+		}
+		if hi <= lo {
+			continue
+		}
+		copy(out[lo-offset:hi-offset], data[lo-slotLo:hi-slotLo])
 	}
 	return out, nil
 }
 
-// fetchReplica tries each replica in order until one serves the chunk.
+// fetchReplica serves the chunk from one of its replicas: serial
+// failover in placement order by default, or a concurrent
+// first-success-wins race when hedged reads are on.
 func (c *Client) fetchReplica(d chunk.Desc) ([]byte, error) {
+	if c.hedged && len(d.Providers) > 1 {
+		return c.fetchHedged(d)
+	}
 	var lastErr error
 	for _, pid := range d.Providers {
 		conn, err := c.dir.Lookup(pid)
@@ -453,6 +588,42 @@ func (c *Client) fetchReplica(d chunk.Desc) ([]byte, error) {
 		lastErr = ErrUnavailable
 	}
 	return nil, fmt.Errorf("%w: chunk %s: %v", ErrUnavailable, d.ID.Short(), lastErr)
+}
+
+// fetchHedged races every replica and returns the first chunk served.
+// The channel is buffered so losing fetches finish and are discarded
+// without leaking goroutines; when all replicas fail, the per-replica
+// errors are aggregated.
+func (c *Client) fetchHedged(d chunk.Desc) ([]byte, error) {
+	type result struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan result, len(d.Providers))
+	for _, pid := range d.Providers {
+		go func(pid string) {
+			conn, err := c.dir.Lookup(pid)
+			if err != nil {
+				ch <- result{err: fmt.Errorf("lookup %s: %w", pid, err)}
+				return
+			}
+			data, err := conn.Fetch(c.user, d.ID)
+			if err != nil {
+				ch <- result{err: fmt.Errorf("fetch %s: %w", pid, err)}
+				return
+			}
+			ch <- result{data: data}
+		}(pid)
+	}
+	errs := make([]error, 0, len(d.Providers))
+	for range d.Providers {
+		r := <-ch
+		if r.err == nil {
+			return r.data, nil
+		}
+		errs = append(errs, r.err)
+	}
+	return nil, fmt.Errorf("%w: chunk %s: %w", ErrUnavailable, d.ID.Short(), errors.Join(errs...))
 }
 
 func (c *Client) abort(tk vmanager.Ticket) {

@@ -231,6 +231,123 @@ func TestAllProvidersDownFailsWrite(t *testing.T) {
 	}
 }
 
+func TestWriteQuorumDefaultRequiresAllReplicas(t *testing.T) {
+	b := newBed(t, 3)
+	c := b.client("alice", WithReplicas(3))
+	info, _ := c.Create(8)
+	b.providers["p01"].Stop()
+	_, err := c.Write(info.ID, 0, []byte("payload!"))
+	if !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("want ErrNoReplica, got %v", err)
+	}
+	// The aggregated error must carry the underlying replica failure.
+	if !errors.Is(err, provider.ErrStopped) {
+		t.Fatalf("cause not wrapped: %v", err)
+	}
+}
+
+func TestWriteQuorumToleratesReplicaFailures(t *testing.T) {
+	b := newBed(t, 3)
+	c := b.client("alice", WithReplicas(3), WithWriteQuorum(2))
+	info, _ := c.Create(8)
+	b.providers["p01"].Stop()
+	data := []byte("quorum-data-here")
+	if _, err := c.Write(info.ID, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Descriptors list exactly the replicas that landed, never the
+	// stopped provider.
+	tree, _ := b.vm.Tree(info.ID)
+	err := tree.Walk(1, 0, tree.Span(), func(idx int64, d chunk.Desc) error {
+		if len(d.Providers) != 2 {
+			return fmt.Errorf("chunk %d has %d replicas, want 2", idx, len(d.Providers))
+		}
+		for _, pid := range d.Providers {
+			if pid == "p01" {
+				return fmt.Errorf("chunk %d lists stopped provider", idx)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(info.ID, 0, 0, int64(len(data)))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read back %q err=%v", got, err)
+	}
+}
+
+func TestWriteQuorumClampedToReplicationDegree(t *testing.T) {
+	b := newBed(t, 3)
+	c := b.client("alice", WithReplicas(2), WithWriteQuorum(99))
+	info, _ := c.Create(8)
+	if _, err := c.Write(info.ID, 0, []byte("clamped!")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Bugfix regression: directory lookup failures used to be silently
+// dropped, leaving a bare ErrNoReplica with no cause.
+func TestLookupFailuresAreReported(t *testing.T) {
+	b := newBed(t, 2)
+	sentinel := errors.New("directory exploded")
+	c := New("alice", b.vm, b.pm, DirectoryFunc(func(string) (Conn, error) {
+		return nil, sentinel
+	}))
+	info, _ := c.Create(8)
+	_, err := c.Write(info.ID, 0, []byte("x"))
+	if !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("want ErrNoReplica, got %v", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("lookup cause not wrapped: %v", err)
+	}
+}
+
+func TestHedgedReadSurvivesFailures(t *testing.T) {
+	b := newBed(t, 3)
+	c := b.client("alice", WithReplicas(3), WithHedgedReads(true))
+	info, _ := c.Create(8)
+	data := []byte("hedged-replicas!")
+	if _, err := c.Write(info.ID, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	b.providers["p00"].Stop()
+	b.providers["p02"].Stop()
+	got, err := c.Read(info.ID, 0, 0, int64(len(data)))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("hedged read after failures: %q err=%v", got, err)
+	}
+	b.providers["p01"].Stop()
+	_, err = c.Read(info.ID, 0, 0, int64(len(data)))
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+	if !errors.Is(err, provider.ErrStopped) {
+		t.Fatalf("per-replica causes not aggregated: %v", err)
+	}
+}
+
+func TestHedgedReadMatchesSerial(t *testing.T) {
+	b := newBed(t, 4)
+	serial := b.client("alice", WithReplicas(3))
+	hedged := b.client("alice", WithReplicas(3), WithHedgedReads(true))
+	info, _ := serial.Create(16)
+	data := bytes.Repeat([]byte("0123456789abcdef"), 7) // unaligned tail
+	if _, err := serial.Write(info.ID, 3, data); err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Read(info.ID, 0, 0, int64(len(data))+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hedged.Read(info.ID, 0, 0, int64(len(data))+3)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("hedged differs from serial: err=%v", err)
+	}
+}
+
 type denyGate struct{ blocked map[string]bool }
 
 func (g denyGate) Allow(user string, op instrument.Op) error {

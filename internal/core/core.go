@@ -41,6 +41,8 @@ type Options struct {
 	StorageServers   int      // introspection storage servers (default 2)
 	ProviderCapacity int64    // bytes per provider (0 = unbounded)
 	Replicas         int      // chunk replication degree for clients (default 1)
+	WriteQuorum      int      // replica stores required per chunk (0 = all replicas)
+	HedgedReads      bool     // race all replicas on reads instead of serial failover
 	Zones            []string // provider zones, round-robin (default one zone)
 	PolicySource     string   // policy DSL ("" = policy.DefaultCatalog)
 	Monitoring       bool     // attach the introspection stack (default true via NewCluster)
@@ -252,15 +254,27 @@ func (c *Cluster) Lookup(id string) (client.Conn, error) {
 // Client returns a client bound to a user identity, wired through the
 // security gatekeeper and the introspection stack.
 func (c *Cluster) Client(user string) *client.Client {
+	return c.ClientWith(user)
+}
+
+// ClientWith returns a client like Client, with extra client options
+// applied on top of the cluster's defaults (replication degree, write
+// quorum, hedged reads). The S3 gateway and benchmarks use it to tune
+// per-front-end behavior without reconfiguring the whole cluster.
+func (c *Cluster) ClientWith(user string, extra ...client.Option) *client.Client {
 	emitter := instrument.NewTap(c.Intro)
 	if c.opts.Monitoring {
 		emitter.Attach(c.Mesh.NewAgent("client-"+user, c.opts.AgentBatch))
 	}
-	return client.New(user, c.VM, c.PM, c,
+	opts := []client.Option{
 		client.WithReplicas(c.opts.Replicas),
+		client.WithWriteQuorum(c.opts.WriteQuorum),
+		client.WithHedgedReads(c.opts.HedgedReads),
 		client.WithGatekeeper(c.Enf),
 		client.WithEmitter(emitter),
-		client.WithClock(c.now))
+		client.WithClock(c.now),
+	}
+	return client.New(user, c.VM, c.PM, c, append(opts, extra...)...)
 }
 
 // Tick advances the control plane at the given instant: providers report

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blobseer/internal/chunk"
@@ -35,50 +36,74 @@ type Store interface {
 	Count() int
 }
 
+// memStripes is the number of lock stripes in a MemStore. Chunk IDs are
+// content hashes, so striping on the first ID byte spreads uniformly.
+const memStripes = 32
+
+// memStripe is one independently locked shard of the chunk map.
+type memStripe struct {
+	mu   sync.Mutex
+	data map[chunk.ID][]byte
+	refs map[chunk.ID]int
+}
+
 // MemStore is an in-memory, reference-counted Store with a byte-capacity
 // bound. It is the store used by all examples and tests; the interface
-// exists so a disk store can be dropped in.
+// exists so a disk store can be dropped in. The chunk map is sharded
+// into lock stripes keyed by chunk ID, so concurrent clients touching
+// different chunks do not serialize on one mutex; the capacity
+// accounting is a shared atomic.
 type MemStore struct {
-	mu       sync.Mutex
 	capacity int64
-	used     int64
-	data     map[chunk.ID][]byte
-	refs     map[chunk.ID]int
+	used     atomic.Int64
+	count    atomic.Int64
+	stripes  [memStripes]memStripe
 }
 
 // NewMemStore returns a store bounded to capacity bytes (capacity ≤ 0
 // means unbounded).
 func NewMemStore(capacity int64) *MemStore {
-	return &MemStore{
-		capacity: capacity,
-		data:     make(map[chunk.ID][]byte),
-		refs:     make(map[chunk.ID]int),
+	s := &MemStore{capacity: capacity}
+	for i := range s.stripes {
+		s.stripes[i].data = make(map[chunk.ID][]byte)
+		s.stripes[i].refs = make(map[chunk.ID]int)
 	}
+	return s
+}
+
+func (s *MemStore) stripe(id chunk.ID) *memStripe {
+	return &s.stripes[int(id[0])%memStripes]
 }
 
 // Put stores a copy of data under id, or bumps the refcount when the
 // chunk is already present (content addressing makes replays idempotent).
 func (s *MemStore) Put(id chunk.ID, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.data[id]; ok {
-		s.refs[id]++
+	st := s.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.data[id]; ok {
+		st.refs[id]++
 		return nil
 	}
-	if s.capacity > 0 && s.used+int64(len(data)) > s.capacity {
+	// Reserve the bytes first; undo on overflow. Concurrent puts may
+	// transiently over-reserve, but never admit past capacity.
+	n := int64(len(data))
+	if v := s.used.Add(n); s.capacity > 0 && v > s.capacity {
+		s.used.Add(-n)
 		return ErrFull
 	}
-	s.data[id] = append([]byte(nil), data...)
-	s.refs[id] = 1
-	s.used += int64(len(data))
+	st.data[id] = append([]byte(nil), data...)
+	st.refs[id] = 1
+	s.count.Add(1)
 	return nil
 }
 
 // Get returns a copy of the chunk payload.
 func (s *MemStore) Get(id chunk.ID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.data[id]
+	st := s.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	d, ok := st.data[id]
 	if !ok {
 		return nil, ErrNotFound
 	}
@@ -88,53 +113,51 @@ func (s *MemStore) Get(id chunk.ID) ([]byte, error) {
 // Delete decrements the chunk's refcount, freeing it at zero. Deleting an
 // absent chunk returns ErrNotFound.
 func (s *MemStore) Delete(id chunk.ID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.data[id]
+	st := s.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	d, ok := st.data[id]
 	if !ok {
 		return ErrNotFound
 	}
-	s.refs[id]--
-	if s.refs[id] <= 0 {
-		s.used -= int64(len(d))
-		delete(s.data, id)
-		delete(s.refs, id)
+	st.refs[id]--
+	if st.refs[id] <= 0 {
+		s.used.Add(-int64(len(d)))
+		s.count.Add(-1)
+		delete(st.data, id)
+		delete(st.refs, id)
 	}
 	return nil
 }
 
 // Has reports whether the chunk is present.
 func (s *MemStore) Has(id chunk.ID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.data[id]
+	st := s.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.data[id]
 	return ok
 }
 
 // Keys returns the stored chunk IDs in unspecified order.
 func (s *MemStore) Keys() []chunk.ID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]chunk.ID, 0, len(s.data))
-	for id := range s.data {
-		out = append(out, id)
+	out := make([]chunk.ID, 0, s.Count())
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for id := range st.data {
+			out = append(out, id)
+		}
+		st.mu.Unlock()
 	}
 	return out
 }
 
 // Used returns the stored payload bytes (each chunk counted once).
-func (s *MemStore) Used() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.used
-}
+func (s *MemStore) Used() int64 { return s.used.Load() }
 
 // Count returns the number of distinct chunks.
-func (s *MemStore) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.data)
-}
+func (s *MemStore) Count() int { return int(s.count.Load()) }
 
 // Stats is a snapshot of a provider's activity counters.
 type Stats struct {
@@ -145,7 +168,9 @@ type Stats struct {
 	Chunks                   int
 }
 
-// Provider is one data-provider actor.
+// Provider is one data-provider actor. Its activity counters are
+// atomics so concurrent transfers never serialize on a provider-wide
+// lock (the store below is lock-striped for the same reason).
 type Provider struct {
 	id   string
 	zone string
@@ -154,14 +179,13 @@ type Provider struct {
 	emit instrument.Emitter
 	now  func() time.Time
 
-	mu      sync.Mutex
-	stopped bool
-	stores  int64
-	fetches int64
-	deletes int64
-	bytesIn int64
-	bytesUp int64
-	active  int
+	stopped atomic.Bool
+	stores  atomic.Int64
+	fetches atomic.Int64
+	deletes atomic.Int64
+	bytesIn atomic.Int64
+	bytesUp atomic.Int64
+	active  atomic.Int64
 }
 
 // Option configures a Provider.
@@ -223,45 +247,33 @@ func (p *Provider) Capacity() int64 { return p.cap }
 // Stop marks the provider as stopped; subsequent operations fail with
 // ErrStopped. Used by elasticity (pool contraction) and failure injection.
 func (p *Provider) Stop() {
-	p.mu.Lock()
-	p.stopped = true
-	p.mu.Unlock()
+	p.stopped.Store(true)
 	p.emit.Emit(instrument.Event{
 		Time: p.now(), Actor: instrument.ActorProvider, Node: p.id, Op: instrument.OpLeave,
 	})
 }
 
 // Stopped reports whether the provider has been stopped.
-func (p *Provider) Stopped() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stopped
-}
+func (p *Provider) Stopped() bool { return p.stopped.Load() }
 
 // Restart clears the stopped flag (failure-recovery testing).
 func (p *Provider) Restart() {
-	p.mu.Lock()
-	p.stopped = false
-	p.mu.Unlock()
+	p.stopped.Store(false)
 	p.emit.Emit(instrument.Event{
 		Time: p.now(), Actor: instrument.ActorProvider, Node: p.id, Op: instrument.OpJoin,
 	})
 }
 
 func (p *Provider) begin() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.stopped {
+	if p.stopped.Load() {
 		return ErrStopped
 	}
-	p.active++
+	p.active.Add(1)
 	return nil
 }
 
 func (p *Provider) end() {
-	p.mu.Lock()
-	p.active--
-	p.mu.Unlock()
+	p.active.Add(-1)
 }
 
 // Store persists one chunk replica on behalf of user.
@@ -272,12 +284,10 @@ func (p *Provider) Store(user string, id chunk.ID, data []byte) error {
 	}
 	defer p.end()
 	err := p.st.Put(id, data)
-	p.mu.Lock()
-	p.stores++
+	p.stores.Add(1)
 	if err == nil {
-		p.bytesIn += int64(len(data))
+		p.bytesIn.Add(int64(len(data)))
 	}
-	p.mu.Unlock()
 	ev := instrument.Event{
 		Time: p.now(), Actor: instrument.ActorProvider, Node: p.id, User: user,
 		Op: instrument.OpStore, Bytes: int64(len(data)), Dur: p.now().Sub(start),
@@ -297,12 +307,10 @@ func (p *Provider) Fetch(user string, id chunk.ID) ([]byte, error) {
 	}
 	defer p.end()
 	data, err := p.st.Get(id)
-	p.mu.Lock()
-	p.fetches++
+	p.fetches.Add(1)
 	if err == nil {
-		p.bytesUp += int64(len(data))
+		p.bytesUp.Add(int64(len(data)))
 	}
-	p.mu.Unlock()
 	ev := instrument.Event{
 		Time: p.now(), Actor: instrument.ActorProvider, Node: p.id, User: user,
 		Op: instrument.OpFetch, Bytes: int64(len(data)), Dur: p.now().Sub(start),
@@ -321,9 +329,7 @@ func (p *Provider) Remove(id chunk.ID) error {
 	}
 	defer p.end()
 	err := p.st.Delete(id)
-	p.mu.Lock()
-	p.deletes++
-	p.mu.Unlock()
+	p.deletes.Add(1)
 	ev := instrument.Event{
 		Time: p.now(), Actor: instrument.ActorProvider, Node: p.id, Op: instrument.OpDelete,
 	}
@@ -363,12 +369,10 @@ func (p *Provider) Free() int64 {
 
 // Stats returns a snapshot of activity counters.
 func (p *Provider) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	return Stats{
-		Stores: p.stores, Fetches: p.fetches, Deletes: p.deletes,
-		BytesIn: p.bytesIn, BytesOut: p.bytesUp,
-		Active: p.active, Used: p.st.Used(), Capacity: p.cap, Chunks: p.st.Count(),
+		Stores: p.stores.Load(), Fetches: p.fetches.Load(), Deletes: p.deletes.Load(),
+		BytesIn: p.bytesIn.Load(), BytesOut: p.bytesUp.Load(),
+		Active: int(p.active.Load()), Used: p.st.Used(), Capacity: p.cap, Chunks: p.st.Count(),
 	}
 }
 
@@ -377,9 +381,7 @@ func (p *Provider) Stats() Stats {
 // are externally measured utilizations in [0,1].
 func (p *Provider) ReportPhysical(cpu, mem float64) {
 	now := p.now()
-	p.mu.Lock()
-	active := p.active
-	p.mu.Unlock()
+	active := p.active.Load()
 	base := instrument.Event{Time: now, Actor: instrument.ActorProvider, Node: p.id}
 	for _, s := range []struct {
 		op instrument.Op

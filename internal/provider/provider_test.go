@@ -1,6 +1,7 @@
 package provider
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -221,6 +222,67 @@ func TestProviderConcurrent(t *testing.T) {
 	wg.Wait()
 	if p.Stats().Chunks != 400 {
 		t.Fatalf("chunks=%d", p.Stats().Chunks)
+	}
+}
+
+// TestMemStoreStripedConcurrency hammers the lock-striped store from
+// many goroutines with puts, gets and deletes over a shared key set —
+// run with -race. The final accounting must match a serial replay.
+func TestMemStoreStripedConcurrency(t *testing.T) {
+	s := NewMemStore(0)
+	const workers = 8
+	const perWorker = 200
+	payloads := make([][]byte, 64)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("chunk-%03d-payload", i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k := (w*perWorker + i) % len(payloads)
+				data := payloads[k]
+				id := chunk.Sum(data)
+				if err := s.Put(id, data); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, err := s.Get(id); err != nil || !bytes.Equal(got, data) {
+					t.Errorf("get: %v", err)
+					return
+				}
+				// Even-indexed payloads are deleted right back, so their
+				// refcounts drain to zero; odd ones accumulate.
+				if k%2 == 0 {
+					if err := s.Delete(id); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Puts and deletes balanced for even payloads, so exactly the odd
+	// half survives, counted once each.
+	var wantCount int
+	var wantUsed int64
+	for k, p := range payloads {
+		if k%2 == 1 {
+			wantCount++
+			wantUsed += int64(len(p))
+		}
+	}
+	if s.Count() != wantCount {
+		t.Fatalf("count=%d want %d", s.Count(), wantCount)
+	}
+	if s.Used() != wantUsed {
+		t.Fatalf("used=%d want %d", s.Used(), wantUsed)
+	}
+	if got := len(s.Keys()); got != wantCount {
+		t.Fatalf("keys=%d want %d", got, wantCount)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"blobseer/internal/client"
 	"blobseer/internal/core"
 	"blobseer/internal/instrument"
 )
@@ -44,6 +45,7 @@ type Gateway struct {
 	cluster *core.Cluster
 	emit    instrument.Emitter
 	now     func() time.Time
+	clOpts  []client.Option
 
 	mu      sync.Mutex
 	keys    map[string]string // accessKey → secret (nil = auth disabled)
@@ -83,6 +85,13 @@ func WithClock(now func() time.Time) Option {
 	}
 }
 
+// WithClientOptions applies extra client options (write quorum, hedged
+// reads, worker count, …) to every BlobSeer client the gateway creates,
+// on top of the cluster defaults.
+func WithClientOptions(opts ...client.Option) Option {
+	return func(g *Gateway) { g.clOpts = append(g.clOpts, opts...) }
+}
+
 // New returns a gateway over the cluster.
 func New(cluster *core.Cluster, opts ...Option) *Gateway {
 	g := &Gateway{
@@ -95,6 +104,12 @@ func New(cluster *core.Cluster, opts ...Option) *Gateway {
 		o(g)
 	}
 	return g
+}
+
+// clientFor returns a BlobSeer client for the request's user with the
+// gateway's extra client options applied.
+func (g *Gateway) clientFor(user string) *client.Client {
+	return g.cluster.ClientWith(user, g.clOpts...)
 }
 
 // Sign computes the request signature for the given secret, method, path
@@ -294,7 +309,7 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket
 		writeErr(w, http.StatusBadRequest, "IncompleteBody", err.Error())
 		return
 	}
-	cl := g.cluster.Client(user)
+	cl := g.clientFor(user)
 	info, err := cl.Create(0)
 	if err != nil {
 		writeErr(w, http.StatusForbidden, "AccessDenied", err.Error())
@@ -348,7 +363,7 @@ func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request, user, bucket
 		w.WriteHeader(http.StatusOK)
 		return
 	}
-	data, err := g.cluster.Client(user).Read(o.blob, 0, 0, o.size)
+	data, err := g.clientFor(user).Read(o.blob, 0, 0, o.size)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
 		return

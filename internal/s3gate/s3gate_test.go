@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"blobseer/internal/client"
 	"blobseer/internal/core"
 	"blobseer/internal/instrument"
 )
@@ -261,5 +262,54 @@ func TestMethodNotAllowed(t *testing.T) {
 	}
 	if resp := do(t, http.MethodPost, srv.URL+"/b/k", nil); resp.StatusCode != 405 {
 		t.Fatalf("object post: %d", resp.StatusCode)
+	}
+}
+
+// TestClientOptionsPassthrough drives a PUT/GET round trip through a
+// gateway whose clients run with a relaxed write quorum and hedged
+// reads over a replicated cluster with one provider down — options that
+// must reach the BlobSeer clients the gateway creates for the round
+// trip to succeed at all.
+func TestClientOptionsPassthrough(t *testing.T) {
+	cluster, err := core.NewCluster(core.Options{
+		Providers: 3, Replicas: 3, Monitoring: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop one provider without unregistering it: placement still
+	// targets it, so only a write quorum below the replication degree
+	// lets a PUT publish.
+	if p, ok := cluster.Provider("provider001"); ok {
+		p.Stop()
+	} else {
+		t.Fatal("no provider001")
+	}
+	g := New(cluster, WithClientOptions(
+		client.WithWriteQuorum(2), client.WithHedgedReads(true)))
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	payload := bytes.Repeat([]byte("opt"), 4096)
+	if resp := do(t, http.MethodPut, srv.URL+"/b/key", payload); resp.StatusCode != 200 {
+		t.Fatalf("put with quorum: %d", resp.StatusCode)
+	}
+	resp := do(t, http.MethodGet, srv.URL+"/b/key", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("get: %d", resp.StatusCode)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted")
+	}
+
+	// Sanity: without the options, the same PUT must fail the quorum.
+	plain := New(cluster)
+	srv2 := httptest.NewServer(plain)
+	t.Cleanup(srv2.Close)
+	do(t, http.MethodPut, srv2.URL+"/b2", nil)
+	if resp := do(t, http.MethodPut, srv2.URL+"/b2/key", payload); resp.StatusCode == 200 {
+		t.Fatal("default-quorum put unexpectedly succeeded with a provider down")
 	}
 }
