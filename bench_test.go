@@ -8,7 +8,9 @@ package blobseer_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -353,22 +355,42 @@ type delayConn struct {
 	rtt   time.Duration
 }
 
-func (d delayDir) Lookup(id string) (client.Conn, error) {
-	conn, err := d.inner.Lookup(id)
+func (d delayDir) Lookup(ctx context.Context, id string) (client.Conn, error) {
+	conn, err := d.inner.Lookup(ctx, id)
 	if err != nil {
 		return nil, err
 	}
 	return delayConn{conn, d.rtt}, nil
 }
 
-func (c delayConn) Store(user string, id chunk.ID, data []byte) error {
-	time.Sleep(c.rtt)
-	return c.inner.Store(user, id, data)
+// sleepCtx models the RTT but respects cancellation, the way a real
+// in-flight network transfer aborts when its context dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d == 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
-func (c delayConn) Fetch(user string, id chunk.ID) ([]byte, error) {
-	time.Sleep(c.rtt)
-	return c.inner.Fetch(user, id)
+func (c delayConn) Store(ctx context.Context, user string, id chunk.ID, data []byte) error {
+	if err := sleepCtx(ctx, c.rtt); err != nil {
+		return err
+	}
+	return c.inner.Store(ctx, user, id, data)
+}
+
+func (c delayConn) Fetch(ctx context.Context, user string, id chunk.ID) ([]byte, error) {
+	if err := sleepCtx(ctx, c.rtt); err != nil {
+		return nil, err
+	}
+	return c.inner.Fetch(ctx, user, id)
 }
 
 // benchPlanes is the provider-RTT grid the client benchmarks run over:
@@ -502,5 +524,110 @@ func BenchmarkMaxMinReshape(b *testing.B) {
 			}
 		}
 		sim.Run(time.Minute)
+	}
+}
+
+// BenchmarkClientStreamWrite compares the buffered compatibility Write
+// (whole payload handed over at once) with the streaming BlobWriter
+// (chunk slots flushed in the background while later bytes arrive) on
+// both planes. On the modeled LAN plane the streaming path overlaps the
+// per-chunk store round trips with payload delivery.
+func BenchmarkClientStreamWrite(b *testing.B) {
+	for _, plane := range benchPlanes {
+		for _, mode := range []string{"buffered", "stream"} {
+			name := fmt.Sprintf("plane=%s/mode=%s", plane.name, mode)
+			b.Run(name, func(b *testing.B) {
+				cluster, err := core.NewCluster(core.Options{Providers: 8, Monitoring: false})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl := client.New("bench", cluster.VM, cluster.PM,
+					delayDir{cluster, plane.rtt}, client.WithWorkers(8))
+				info, _ := cl.Create(64 << 10)
+				payload := bytes.Repeat([]byte("w"), 1<<20)
+				ctx := context.Background()
+				blob, err := cl.Open(ctx, info.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(len(payload)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "buffered" {
+						if _, err := cl.Write(info.ID, 0, payload); err != nil {
+							b.Fatal(err)
+						}
+						continue
+					}
+					w, err := blob.NewWriter(ctx, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Feed in 64 KiB pieces, the arrival pattern of a
+					// network body.
+					for off := 0; off < len(payload); off += 64 << 10 {
+						if _, err := w.Write(payload[off : off+(64<<10)]); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := w.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkClientStreamRead compares the buffered compatibility Read
+// (whole range materialized) with the streaming BlobReader drained via
+// WriteTo into a discard sink — the S3 GET shape. The streaming path
+// never allocates the full object and pipelines chunk fetches ahead of
+// the consumer.
+func BenchmarkClientStreamRead(b *testing.B) {
+	for _, plane := range benchPlanes {
+		for _, mode := range []string{"buffered", "stream"} {
+			name := fmt.Sprintf("plane=%s/mode=%s", plane.name, mode)
+			b.Run(name, func(b *testing.B) {
+				cluster, err := core.NewCluster(core.Options{Providers: 8, Monitoring: false})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wr := cluster.Client("bench")
+				info, _ := wr.Create(64 << 10)
+				payload := bytes.Repeat([]byte("r"), 1<<20)
+				if _, err := wr.Write(info.ID, 0, payload); err != nil {
+					b.Fatal(err)
+				}
+				cl := client.New("bench", cluster.VM, cluster.PM,
+					delayDir{cluster, plane.rtt},
+					client.WithWorkers(8), client.WithPrefetch(8))
+				ctx := context.Background()
+				blob, err := cl.Open(ctx, info.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(len(payload)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "buffered" {
+						got, err := cl.Read(info.ID, 0, 0, int64(len(payload)))
+						if err != nil || len(got) != len(payload) {
+							b.Fatalf("read: %d bytes err=%v", len(got), err)
+						}
+						continue
+					}
+					r, err := blob.NewReader(ctx, 0, 0, int64(len(payload)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					n, err := io.Copy(io.Discard, r)
+					r.Close()
+					if err != nil || n != int64(len(payload)) {
+						b.Fatalf("stream read: %d bytes err=%v", n, err)
+					}
+				}
+			})
+		}
 	}
 }

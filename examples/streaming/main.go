@@ -1,0 +1,120 @@
+// Streaming I/O: a large object piped through the S3 gateway without
+// ever being held in one buffer. The PUT side streams a generated body
+// through the gateway into a BlobWriter (chunk slots flush to replica
+// sets while the upload is still arriving); the GET side replays a byte
+// range with an HTTP Range header, served 206 Partial Content straight
+// off a BlobReader's pipelined chunk prefetch.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"blobseer/internal/core"
+	"blobseer/internal/s3gate"
+)
+
+// pattern generates a deterministic pseudo-random body of n bytes a
+// block at a time — the upload never exists as one contiguous buffer.
+type pattern struct {
+	remaining int64
+	state     byte
+}
+
+func (p *pattern) Read(b []byte) (int, error) {
+	if p.remaining == 0 {
+		return 0, io.EOF
+	}
+	n := int64(len(b))
+	if n > p.remaining {
+		n = p.remaining
+	}
+	for i := int64(0); i < n; i++ {
+		p.state = p.state*31 + 7
+		b[i] = p.state
+	}
+	p.remaining -= n
+	return int(n), nil
+}
+
+func main() {
+	cluster, err := core.NewCluster(core.Options{Providers: 6, Replicas: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gw := s3gate.New(cluster)
+	srv := httptest.NewServer(gw)
+	defer srv.Close()
+
+	const objectSize = 256 << 20 // 256 MiB — far larger than any buffer below
+	must(put(srv.URL+"/videos", nil, 0))
+
+	// Upload: chunked transfer encoding, body produced on the fly.
+	fmt.Printf("streaming %d MiB up through the gateway...\n", objectSize>>20)
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/videos/feature.bin",
+		&pattern{remaining: objectSize})
+	req.ContentLength = -1
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Println("PUT status:", resp.Status, "etag:", resp.Header.Get("ETag"))
+
+	// Range replay: the last 32 MiB, answered 206 from the chunk pipeline.
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/videos/feature.bin", nil)
+	req.Header.Set("Range", "bytes=-33554432")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	n, err := io.Copy(h, resp.Body) // consume as a stream, constant memory
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("GET status:", resp.Status)
+	fmt.Println("Content-Range:", resp.Header.Get("Content-Range"))
+	fmt.Printf("drained %d MiB, sha256=%x...\n", n>>20, h.Sum(nil)[:8])
+
+	// Verify against the same window regenerated locally.
+	want := sha256.New()
+	gen := &pattern{remaining: objectSize}
+	if _, err := io.CopyN(io.Discard, gen, objectSize-(32<<20)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := io.Copy(want, gen); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("range content matches source:", fmt.Sprintf("%x", h.Sum(nil)) == fmt.Sprintf("%x", want.Sum(nil)))
+}
+
+func put(url string, body io.Reader, length int64) error {
+	req, err := http.NewRequest(http.MethodPut, url, body)
+	if err != nil {
+		return err
+	}
+	if length > 0 {
+		req.ContentLength = length
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return nil
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,559 @@
+// Streaming blob I/O: the Blob handle and its chunk-granular reader and
+// writer. A BlobReader pipelines a bounded window of chunk fetches ahead
+// of the consumer over the hedged/serial replica fetch path; a BlobWriter
+// accumulates chunk-aligned buffers and flushes replica stores in the
+// background as slots fill, publishing one version on Close. Both are
+// context-first: cancelling the context aborts every in-flight chunk
+// transfer.
+package client
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"blobseer/internal/chunk"
+	"blobseer/internal/instrument"
+	"blobseer/internal/vmanager"
+)
+
+// Blob is a cheap handle on one BLOB: the immutable metadata plus the
+// client it was opened through. It mints streaming readers and writers.
+type Blob struct {
+	c    *Client
+	info vmanager.BlobInfo
+}
+
+// ID returns the BLOB id.
+func (b *Blob) ID() uint64 { return b.info.ID }
+
+// ChunkSize returns the BLOB's chunk size in bytes.
+func (b *Blob) ChunkSize() int64 { return b.info.ChunkSize }
+
+// Size returns the byte size of a version (0 = latest).
+func (b *Blob) Size(version uint64) (int64, error) { return b.c.Size(b.info.ID, version) }
+
+// Latest returns the latest published version number.
+func (b *Blob) Latest() (uint64, error) { return b.c.Latest(b.info.ID) }
+
+// NewReader returns a streaming reader over [offset, offset+length) of
+// the given version (0 = latest published; length < 0 = to the end of
+// the version). Holes read as zeros; a window past the version size
+// fails with ErrShortRead. The reader keeps a bounded window of chunk
+// fetches in flight ahead of the consumer (WithPrefetch); cancelling ctx
+// aborts them. Callers must Close the reader.
+func (b *Blob) NewReader(ctx context.Context, version uint64, offset, length int64) (*BlobReader, error) {
+	c := b.c
+	start := c.now()
+	if err := c.gate.Allow(ctx, c.user, instrument.OpRead); err != nil {
+		c.event(instrument.OpRead, b.info.ID, version, offset, length, err)
+		return nil, err
+	}
+	vm, err := c.resolveVersion(b.info.ID, version)
+	if err != nil {
+		return nil, err
+	}
+	if length < 0 {
+		length = vm.Size - offset
+	}
+	if offset < 0 || length < 0 || offset+length > vm.Size {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrShortRead, offset, offset+length, vm.Size)
+	}
+	var descs []chunk.Desc
+	loIdx := int64(0)
+	if length > 0 {
+		tree, err := c.vm.Tree(b.info.ID)
+		if err != nil {
+			return nil, err
+		}
+		loIdx = offset / b.info.ChunkSize
+		hiIdx := (offset + length - 1) / b.info.ChunkSize
+		descs, err = tree.Read(vm.Version, loIdx, hiIdx+1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	return &BlobReader{
+		c: c, ctx: rctx, cancel: cancel,
+		blob: b.info.ID, version: vm.Version, chunkSize: b.info.ChunkSize,
+		base: offset, length: length, loIdx: loIdx, descs: descs,
+		window:  int64(c.prefetch),
+		futures: make(map[int64]*chunkFuture),
+		started: start,
+	}, nil
+}
+
+// NewWriter returns a streaming writer whose bytes land at the given
+// absolute offset. Chunk slots are flushed to their replica set in the
+// background as they fill; Close flushes the tail, assigns a version and
+// publishes it. Cancelling ctx aborts in-flight chunk transfers and
+// leaves the BLOB unpublished.
+func (b *Blob) NewWriter(ctx context.Context, offset int64) (*BlobWriter, error) {
+	c := b.c
+	start := c.now()
+	if err := c.gate.Allow(ctx, c.user, instrument.OpWrite); err != nil {
+		c.event(instrument.OpWrite, b.info.ID, 0, offset, 0, err)
+		return nil, err
+	}
+	if offset < 0 {
+		return nil, fmt.Errorf("client: negative offset %d", offset)
+	}
+	return c.newWriter(ctx, b.info.ID, b.info.ChunkSize, offset, instrument.OpWrite, nil, start), nil
+}
+
+// chunkFuture is one in-flight (or completed) chunk fetch.
+type chunkFuture struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// BlobReader streams one version window. It implements
+// io.ReadSeekCloser and io.WriterTo. Not safe for concurrent use.
+type BlobReader struct {
+	c         *Client
+	ctx       context.Context
+	cancel    context.CancelFunc
+	blob      uint64
+	version   uint64
+	chunkSize int64
+	base      int64 // absolute offset of the window start
+	length    int64 // window length in bytes
+	pos       int64 // current position relative to base
+	loIdx     int64 // chunk index of descs[0]
+	descs     []chunk.Desc
+	window    int64
+	futures   map[int64]*chunkFuture
+	zeros     []byte
+	started   time.Time
+	err       error
+	closed    bool
+}
+
+// Version returns the resolved version the reader serves.
+func (r *BlobReader) Version() uint64 { return r.version }
+
+// Size returns the window length in bytes.
+func (r *BlobReader) Size() int64 { return r.length }
+
+// ensure launches fetches for the window [idx, idx+window) that are not
+// yet in flight, drops completed chunks behind idx, and returns idx's
+// future. Hole slots resolve immediately with nil data.
+func (r *BlobReader) ensure(idx int64) *chunkFuture {
+	hi := r.loIdx + int64(len(r.descs)) // one past the last chunk
+	end := idx + r.window
+	if end > hi {
+		end = hi
+	}
+	for i := idx; i < end; i++ {
+		if _, ok := r.futures[i]; ok {
+			continue
+		}
+		f := &chunkFuture{done: make(chan struct{})}
+		r.futures[i] = f
+		d := r.descs[i-r.loIdx]
+		if d.ID.IsZero() {
+			close(f.done) // hole: zeros
+			continue
+		}
+		go func(d chunk.Desc, f *chunkFuture) {
+			f.data, f.err = r.c.fetchReplica(r.ctx, d)
+			close(f.done)
+		}(d, f)
+	}
+	for i := range r.futures {
+		if i < idx {
+			delete(r.futures, i)
+		}
+	}
+	return r.futures[idx]
+}
+
+// await blocks until chunk idx is available or the context is cancelled.
+func (r *BlobReader) await(idx int64) (*chunkFuture, error) {
+	fut := r.ensure(idx)
+	select {
+	case <-r.ctx.Done():
+		return nil, r.ctx.Err()
+	case <-fut.done:
+	}
+	if fut.err != nil {
+		return nil, fut.err
+	}
+	return fut, nil
+}
+
+// Read implements io.Reader. Each call serves bytes from at most one
+// chunk, so large consumers should prefer WriteTo (io.Copy does).
+func (r *BlobReader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, ErrClosed
+	}
+	if r.err != nil {
+		return 0, r.err
+	}
+	if r.pos >= r.length {
+		return 0, io.EOF
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	abs := r.base + r.pos
+	idx := abs / r.chunkSize
+	fut, err := r.await(idx)
+	if err != nil {
+		r.err = err
+		return 0, err
+	}
+	slotLo, slotHi := chunk.SlotRange(idx, r.chunkSize)
+	end := r.base + r.length
+	if slotHi < end {
+		end = slotHi
+	}
+	n := int64(len(p))
+	if n > end-abs {
+		n = end - abs
+	}
+	seg := p[:n]
+	// Chunk bytes first; only the hole / short-chunk tail needs zeroing.
+	n0 := 0
+	if int64(len(fut.data)) > abs-slotLo {
+		n0 = copy(seg, fut.data[abs-slotLo:])
+	}
+	for i := range seg[n0:] {
+		seg[n0+i] = 0
+	}
+	r.pos += n
+	return int(n), nil
+}
+
+// WriteTo implements io.WriterTo: it streams the remaining window into w
+// chunk by chunk without materializing the whole object, keeping the
+// prefetch pipeline ahead of w's consumption.
+func (r *BlobReader) WriteTo(w io.Writer) (int64, error) {
+	if r.closed {
+		return 0, ErrClosed
+	}
+	if r.err != nil {
+		return 0, r.err
+	}
+	var total int64
+	for r.pos < r.length {
+		abs := r.base + r.pos
+		idx := abs / r.chunkSize
+		fut, err := r.await(idx)
+		if err != nil {
+			r.err = err
+			return total, err
+		}
+		slotLo, slotHi := chunk.SlotRange(idx, r.chunkSize)
+		end := r.base + r.length
+		if slotHi < end {
+			end = slotHi
+		}
+		// Valid chunk bytes first, then the slot's zero tail.
+		if dataHi := slotLo + int64(len(fut.data)); dataHi > abs {
+			hi := dataHi
+			if hi > end {
+				hi = end
+			}
+			n, werr := w.Write(fut.data[abs-slotLo : hi-slotLo])
+			total += int64(n)
+			r.pos += int64(n)
+			if werr != nil {
+				return total, werr
+			}
+			abs = r.base + r.pos
+		}
+		for abs < end {
+			n, werr := w.Write(r.zeroBuf(end - abs))
+			total += int64(n)
+			r.pos += int64(n)
+			if werr != nil {
+				return total, werr
+			}
+			abs = r.base + r.pos
+		}
+	}
+	return total, nil
+}
+
+// zeroBuf returns a slice of up to n zero bytes (bounded scratch, shared
+// across calls — callers must only read it).
+func (r *BlobReader) zeroBuf(n int64) []byte {
+	const maxZero = 64 << 10
+	if r.zeros == nil {
+		r.zeros = make([]byte, maxZero)
+	}
+	if n > maxZero {
+		n = maxZero
+	}
+	return r.zeros[:n]
+}
+
+// Seek implements io.Seeker relative to the reader's window: offset 0 /
+// io.SeekStart is the window start, io.SeekEnd its end. Seeking past the
+// end is allowed (Read then returns io.EOF); the prefetch window follows
+// the new position on the next Read.
+func (r *BlobReader) Seek(offset int64, whence int) (int64, error) {
+	if r.closed {
+		return 0, ErrClosed
+	}
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = r.pos + offset
+	case io.SeekEnd:
+		abs = r.length + offset
+	default:
+		return 0, fmt.Errorf("client: invalid whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("client: negative seek position %d", abs)
+	}
+	r.pos = abs
+	return abs, nil
+}
+
+// Close cancels in-flight chunk fetches and emits the read event. It is
+// idempotent.
+func (r *BlobReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.cancel()
+	now := r.c.now()
+	ev := instrument.Event{
+		Time: now, Actor: instrument.ActorClient, Node: r.c.user, User: r.c.user,
+		Op: instrument.OpRead, Blob: r.blob, Version: r.version,
+		Offset: r.base, Bytes: r.length, Dur: now.Sub(r.started),
+	}
+	if r.err != nil {
+		ev.Err = r.err.Error()
+	}
+	r.c.emit.Emit(ev)
+	return nil
+}
+
+// BlobWriter streams one write. It implements io.Writer, io.ReaderFrom
+// and io.Closer: bytes accumulate into the current chunk slot and every
+// filled slot is flushed to its replica set in the background (bounded
+// by WithWorkers); Close flushes the tail slot, waits for all flushes,
+// assigns a version and publishes it. Not safe for concurrent use.
+type BlobWriter struct {
+	c         *Client
+	ctx       context.Context
+	cancel    context.CancelFunc
+	blob      uint64
+	chunkSize int64
+	off       int64 // absolute offset the stream begins at
+	op        instrument.Op
+	tk        *vmanager.Ticket // pre-assigned ticket (appends); nil = assigned at Close
+	started   time.Time
+
+	cur      []byte // buffered bytes of the current slot; cap ends at the slot boundary
+	curStart int64  // absolute offset of cur[0]
+	total    int64  // bytes accepted so far
+
+	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	writes  map[int64]chunk.Desc
+	err     error
+	closed  bool
+	version uint64
+}
+
+func (c *Client) newWriter(ctx context.Context, blob uint64, chunkSize, offset int64, op instrument.Op, tk *vmanager.Ticket, start time.Time) *BlobWriter {
+	wctx, cancel := context.WithCancel(ctx)
+	return &BlobWriter{
+		c: c, ctx: wctx, cancel: cancel,
+		blob: blob, chunkSize: chunkSize, off: offset, curStart: offset,
+		op: op, tk: tk, started: start,
+		writes: make(map[int64]chunk.Desc),
+	}
+}
+
+// Version returns the published version; valid after a successful Close.
+func (w *BlobWriter) Version() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.version
+}
+
+// writable reports the sticky stream state: closed, a failed background
+// flush, or a cancelled context.
+func (w *BlobWriter) writable() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+	return w.ctx.Err()
+}
+
+// ensureCur sizes the slot buffer so its capacity ends exactly at the
+// current chunk slot boundary.
+func (w *BlobWriter) ensureCur() {
+	if w.cur != nil {
+		return
+	}
+	idx := w.curStart / w.chunkSize
+	_, slotHi := chunk.SlotRange(idx, w.chunkSize)
+	w.cur = make([]byte, 0, slotHi-w.curStart)
+}
+
+// Write implements io.Writer.
+func (w *BlobWriter) Write(p []byte) (int, error) {
+	if err := w.writable(); err != nil {
+		return 0, err
+	}
+	n := 0
+	for len(p) > 0 {
+		w.ensureCur()
+		take := cap(w.cur) - len(w.cur)
+		if take > len(p) {
+			take = len(p)
+		}
+		w.cur = append(w.cur, p[:take]...)
+		p = p[take:]
+		n += take
+		w.total += int64(take)
+		if len(w.cur) == cap(w.cur) {
+			w.flushCur()
+		}
+	}
+	return n, nil
+}
+
+// ReadFrom implements io.ReaderFrom: it fills chunk slots directly from
+// r, flushing each as it completes, so an io.Copy into the writer never
+// buffers more than worker-bounded in-flight chunks.
+func (w *BlobWriter) ReadFrom(r io.Reader) (int64, error) {
+	var total int64
+	for {
+		if err := w.writable(); err != nil {
+			return total, err
+		}
+		w.ensureCur()
+		n, err := r.Read(w.cur[len(w.cur):cap(w.cur)])
+		if n > 0 {
+			w.cur = w.cur[:len(w.cur)+n]
+			w.total += int64(n)
+			total += int64(n)
+			if len(w.cur) == cap(w.cur) {
+				w.flushCur()
+			}
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// flushCur hands the buffered slot to a background store and starts a
+// fresh slot at the next boundary. The first failure is sticky and
+// cancels the writer context, aborting sibling transfers.
+func (w *BlobWriter) flushCur() {
+	data := w.cur
+	start := w.curStart
+	w.cur = nil
+	w.curStart = start + int64(len(data))
+	if len(data) == 0 {
+		return
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		idx, desc, err := w.c.storeSlot(w.ctx, w.blob, w.chunkSize, start, data)
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if err != nil {
+			if w.err == nil {
+				w.err = err
+				w.cancel()
+			}
+			return
+		}
+		w.writes[idx] = desc
+	}()
+}
+
+// Close flushes the tail slot, waits for every background store, then
+// assigns a version (unless one was pre-assigned) and publishes it. On
+// failure no version is published; with a pre-assigned ticket the
+// version is aborted so the publication chain keeps moving. Idempotent:
+// later calls return the first outcome.
+func (w *BlobWriter) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.closed = true
+	w.mu.Unlock()
+
+	w.flushCur()
+	w.wg.Wait()
+	defer w.cancel()
+
+	w.mu.Lock()
+	err := w.err
+	writes := w.writes
+	w.mu.Unlock()
+	if err == nil {
+		// A context cancelled between the last flush and Close must not
+		// publish either — the documented contract.
+		err = w.ctx.Err()
+	}
+
+	tk := w.tk
+	if err == nil && tk == nil {
+		t, aerr := w.c.vm.AssignWrite(w.blob, w.c.user, w.off, w.total)
+		if aerr != nil {
+			err = aerr
+		} else {
+			tk = &t
+		}
+	}
+	var version uint64
+	if err == nil {
+		if perr := w.c.vm.Publish(w.blob, tk.Version, w.c.user, writes); perr != nil {
+			err = perr
+		} else {
+			version = tk.Version
+		}
+	} else if tk != nil {
+		w.c.abort(*tk)
+	}
+
+	w.mu.Lock()
+	w.err = err
+	w.version = version
+	w.mu.Unlock()
+
+	now := w.c.now()
+	ev := instrument.Event{
+		Time: now, Actor: instrument.ActorClient, Node: w.c.user, User: w.c.user,
+		Op: w.op, Blob: w.blob, Version: version,
+		Offset: w.off, Bytes: w.total, Dur: now.Sub(w.started),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	w.c.emit.Emit(ev)
+	return err
+}

@@ -2,11 +2,19 @@
 // applications call to create BLOBs, read ranges, write and append. It
 // coordinates the version manager (tickets and publication), the provider
 // manager (chunk placement) and the data providers (chunk transfer).
+//
+// The surface is context-first and streaming: Open returns a Blob handle
+// whose NewReader/NewWriter stream chunk-granular data with pipelined
+// prefetch and background replica flushes (see blob.go). The classic
+// []byte Read/Write/Append signatures are retained as thin compatibility
+// wrappers over the streaming core.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -22,38 +30,43 @@ var (
 	ErrNoReplica   = errors.New("client: replica stores fell short of the write quorum")
 	ErrUnavailable = errors.New("client: all replicas unavailable")
 	ErrShortRead   = errors.New("client: range extends past blob size")
+	ErrClosed      = errors.New("client: stream is closed")
 )
 
-// Conn is the client's view of one data provider.
+// Conn is the client's view of one data provider. Transfers are
+// context-first: a cancelled ctx must abort the transfer (or the wait for
+// it) promptly.
 type Conn interface {
-	Store(user string, id chunk.ID, data []byte) error
-	Fetch(user string, id chunk.ID) ([]byte, error)
+	Store(ctx context.Context, user string, id chunk.ID, data []byte) error
+	Fetch(ctx context.Context, user string, id chunk.ID) ([]byte, error)
 }
 
 // Directory resolves provider IDs to connections; the real plane resolves
 // to in-process providers or RPC stubs, the S3 gateway shares one.
 type Directory interface {
-	Lookup(providerID string) (Conn, error)
+	Lookup(ctx context.Context, providerID string) (Conn, error)
 }
 
 // DirectoryFunc adapts a function to Directory.
-type DirectoryFunc func(string) (Conn, error)
+type DirectoryFunc func(context.Context, string) (Conn, error)
 
 // Lookup implements Directory.
-func (f DirectoryFunc) Lookup(id string) (Conn, error) { return f(id) }
+func (f DirectoryFunc) Lookup(ctx context.Context, id string) (Conn, error) {
+	return f(ctx, id)
+}
 
 // Gatekeeper is the feedback hook of the security framework: every client
 // operation is admitted through it, so policy enforcement (blocking,
 // throttling) takes effect on the data path.
 type Gatekeeper interface {
-	Allow(user string, op instrument.Op) error
+	Allow(ctx context.Context, user string, op instrument.Op) error
 }
 
 // AllowAll is the default gatekeeper.
 type AllowAll struct{}
 
 // Allow always admits.
-func (AllowAll) Allow(string, instrument.Op) error { return nil }
+func (AllowAll) Allow(context.Context, string, instrument.Op) error { return nil }
 
 // Client is a BlobSeer client bound to one user identity.
 type Client struct {
@@ -66,6 +79,7 @@ type Client struct {
 	now      func() time.Time
 	replicas int
 	workers  int
+	prefetch int  // chunks a BlobReader keeps in flight (window)
 	quorum   int  // successful replica stores required per chunk (0 = all)
 	hedged   bool // fetch all replicas concurrently, first success wins
 }
@@ -121,6 +135,18 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithPrefetch bounds how many chunks a BlobReader keeps in flight,
+// current chunk included (default 4). A larger window hides more
+// per-chunk latency at the cost of memory proportional to
+// window × chunk size.
+func WithPrefetch(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.prefetch = n
+		}
+	}
+}
+
 // WithWriteQuorum sets how many replica stores must succeed for each
 // chunk before a write publishes (default: all replicas). Replicas are
 // always attempted in parallel on every placement target; a quorum below
@@ -146,7 +172,7 @@ func New(user string, vm *vmanager.Manager, pm *pmanager.Manager, dir Directory,
 	c := &Client{
 		user: user, vm: vm, pm: pm, dir: dir,
 		gate: AllowAll{}, emit: instrument.Nop{}, now: time.Now,
-		replicas: 1, workers: 8,
+		replicas: 1, workers: 8, prefetch: 4,
 	}
 	for _, o := range opts {
 		o(c)
@@ -159,7 +185,12 @@ func (c *Client) User() string { return c.user }
 
 // Create makes a new BLOB with the given chunk size (0 = default).
 func (c *Client) Create(chunkSize int64) (vmanager.BlobInfo, error) {
-	if err := c.gate.Allow(c.user, instrument.OpCreate); err != nil {
+	return c.CreateContext(context.Background(), chunkSize)
+}
+
+// CreateContext is Create with an admission context.
+func (c *Client) CreateContext(ctx context.Context, chunkSize int64) (vmanager.BlobInfo, error) {
+	if err := c.gate.Allow(ctx, c.user, instrument.OpCreate); err != nil {
 		return vmanager.BlobInfo{}, err
 	}
 	info, err := c.vm.Create(c.user, chunkSize, false)
@@ -170,7 +201,7 @@ func (c *Client) Create(chunkSize int64) (vmanager.BlobInfo, error) {
 // CreateTemporary makes a BLOB flagged for the temporary-data removal
 // strategy.
 func (c *Client) CreateTemporary(chunkSize int64) (vmanager.BlobInfo, error) {
-	if err := c.gate.Allow(c.user, instrument.OpCreate); err != nil {
+	if err := c.gate.Allow(context.Background(), c.user, instrument.OpCreate); err != nil {
 		return vmanager.BlobInfo{}, err
 	}
 	info, err := c.vm.Create(c.user, chunkSize, true)
@@ -178,25 +209,58 @@ func (c *Client) CreateTemporary(chunkSize int64) (vmanager.BlobInfo, error) {
 	return info, err
 }
 
-// Write stores data at the given offset and returns the published version.
-func (c *Client) Write(blob uint64, offset int64, data []byte) (uint64, error) {
-	start := c.now()
-	if err := c.gate.Allow(c.user, instrument.OpWrite); err != nil {
-		c.event(instrument.OpWrite, blob, 0, offset, int64(len(data)), err)
-		return 0, err
+// Open returns a handle on an existing BLOB. The handle is cheap — it
+// carries the immutable BLOB metadata (chunk size) and mints streaming
+// readers and writers.
+func (c *Client) Open(ctx context.Context, blob uint64) (*Blob, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	tk, err := c.vm.AssignWrite(blob, c.user, offset, int64(len(data)))
+	info, err := c.vm.Info(blob)
+	if err != nil {
+		return nil, err
+	}
+	return &Blob{c: c, info: info}, nil
+}
+
+// Write stores data at the given offset and returns the published
+// version. It is a compatibility wrapper over the streaming BlobWriter.
+func (c *Client) Write(blob uint64, offset int64, data []byte) (uint64, error) {
+	return c.WriteContext(context.Background(), blob, offset, data)
+}
+
+// WriteContext is Write with cancellation: a cancelled ctx aborts
+// in-flight chunk transfers and leaves the BLOB unpublished.
+func (c *Client) WriteContext(ctx context.Context, blob uint64, offset int64, data []byte) (uint64, error) {
+	b, err := c.Open(ctx, blob)
 	if err != nil {
 		return 0, err
 	}
-	ver, err := c.transferAndPublish(tk, instrument.OpWrite, data, start)
-	return ver, err
+	w, err := b.NewWriter(ctx, offset)
+	if err != nil {
+		return 0, err
+	}
+	if _, werr := w.Write(data); werr != nil {
+		_ = w.Close()
+		return 0, werr
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Version(), nil
 }
 
-// Append stores data at the BLOB's end and returns the published version.
+// Append stores data at the BLOB's end and returns the published
+// version. It is a compatibility wrapper over the streaming BlobWriter
+// bound to an append ticket.
 func (c *Client) Append(blob uint64, data []byte) (uint64, error) {
+	return c.AppendContext(context.Background(), blob, data)
+}
+
+// AppendContext is Append with cancellation.
+func (c *Client) AppendContext(ctx context.Context, blob uint64, data []byte) (uint64, error) {
 	start := c.now()
-	if err := c.gate.Allow(c.user, instrument.OpAppend); err != nil {
+	if err := c.gate.Allow(ctx, c.user, instrument.OpAppend); err != nil {
 		c.event(instrument.OpAppend, blob, 0, 0, int64(len(data)), err)
 		return 0, err
 	}
@@ -204,259 +268,46 @@ func (c *Client) Append(blob uint64, data []byte) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	ver, err := c.transferAndPublish(tk, instrument.OpAppend, data, start)
-	return ver, err
-}
-
-// transferAndPublish splits the data, merges partial edge chunks against
-// the latest published version, stores replicas in parallel and publishes.
-func (c *Client) transferAndPublish(tk vmanager.Ticket, op instrument.Op, data []byte, start time.Time) (uint64, error) {
-	pieces, err := chunk.Split(tk.Offset, data, tk.ChunkSize)
-	if err != nil {
-		c.abort(tk)
+	w := c.newWriter(ctx, blob, tk.ChunkSize, tk.Offset, instrument.OpAppend, &tk, start)
+	if _, werr := w.Write(data); werr != nil {
+		_ = w.Close()
+		return 0, werr
+	}
+	if err := w.Close(); err != nil {
 		return 0, err
 	}
-	full, err := c.mergePartials(tk, pieces)
-	if err != nil {
-		c.abort(tk)
-		return 0, err
-	}
-	placement, err := c.pm.Allocate(len(full), c.replicas)
-	if err != nil {
-		c.abort(tk)
-		return 0, err
-	}
-	writes := make(map[int64]chunk.Desc, len(full))
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, c.workers)
-	var wg sync.WaitGroup
-	for i, p := range full {
-		wg.Add(1)
-		go func(i int, p chunk.Piece) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			id := chunk.Sum(p.Data)
-			stored, err := c.storeReplicas(id, p.Data, placement[i])
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("chunk %d: %w", p.Index, err)
-				}
-				return
-			}
-			writes[p.Index] = chunk.Desc{ID: id, Size: int64(len(p.Data)), Providers: stored}
-		}(i, p)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		c.abort(tk)
-		c.event(op, tk.Blob, tk.Version, tk.Offset, int64(len(data)), firstErr)
-		return 0, firstErr
-	}
-	if err := c.vm.Publish(tk.Blob, tk.Version, c.user, writes); err != nil {
-		c.event(op, tk.Blob, tk.Version, tk.Offset, int64(len(data)), err)
-		return 0, err
-	}
-	ev := instrument.Event{
-		Time: c.now(), Actor: instrument.ActorClient, Node: c.user, User: c.user,
-		Op: op, Blob: tk.Blob, Version: tk.Version,
-		Offset: tk.Offset, Bytes: int64(len(data)), Dur: c.now().Sub(start),
-	}
-	c.emit.Emit(ev)
-	return tk.Version, nil
-}
-
-// storeReplicas pushes one chunk to every placement target in parallel
-// and returns the providers that accepted it, in placement order
-// (primary first). It fails when fewer than the write quorum landed,
-// wrapping the per-replica causes — lookup failures included — so a
-// fully failed chunk reports why.
-func (c *Client) storeReplicas(id chunk.ID, data []byte, targets []string) ([]string, error) {
-	errs := make([]error, len(targets))
-	var wg sync.WaitGroup
-	for k, pid := range targets {
-		wg.Add(1)
-		go func(k int, pid string) {
-			defer wg.Done()
-			conn, err := c.dir.Lookup(pid)
-			if err != nil {
-				errs[k] = fmt.Errorf("lookup %s: %w", pid, err)
-				return
-			}
-			if err := conn.Store(c.user, id, data); err != nil {
-				errs[k] = fmt.Errorf("store %s: %w", pid, err)
-			}
-		}(k, pid)
-	}
-	wg.Wait()
-	stored := make([]string, 0, len(targets))
-	for k := range targets {
-		if errs[k] == nil {
-			stored = append(stored, targets[k])
-		}
-	}
-	need := c.quorum
-	if need <= 0 || need > len(targets) {
-		need = len(targets)
-	}
-	if len(stored) < need {
-		return nil, fmt.Errorf("%w: %d/%d replicas stored, quorum %d: %w",
-			ErrNoReplica, len(stored), len(targets), need, errors.Join(errs...))
-	}
-	return stored, nil
-}
-
-// mergePartials turns edge pieces that only partially cover their chunk
-// slot into full-slot pieces by reading the current content underneath.
-func (c *Client) mergePartials(tk vmanager.Ticket, pieces []chunk.Piece) ([]chunk.Piece, error) {
-	if len(pieces) == 0 {
-		return pieces, nil
-	}
-	latest, err := c.vm.Latest(tk.Blob)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]chunk.Piece, len(pieces))
-	copy(out, pieces)
-	// Only the first and last piece can be partial; collect them, then
-	// batch their base reads (one tree handle, parallel fetches) instead
-	// of issuing one full metadata+fetch round trip per edge piece.
-	type edge struct {
-		i      int
-		within int64 // piece offset within its chunk slot
-	}
-	var edges []edge
-	for i := range out {
-		p := &out[i]
-		var within int64
-		if i == 0 {
-			slotLo, _ := chunk.SlotRange(p.Index, tk.ChunkSize)
-			within = tk.Offset - slotLo
-		}
-		if within == 0 && int64(len(p.Data)) == tk.ChunkSize {
-			continue // already full
-		}
-		edges = append(edges, edge{i, within})
-	}
-	if len(edges) == 0 {
-		return out, nil
-	}
-	indices := make([]int64, len(edges))
-	for k, e := range edges {
-		indices[k] = out[e.i].Index
-	}
-	bases, err := c.readBaseSlots(tk.Blob, latest, tk.ChunkSize, indices)
-	if err != nil {
-		return nil, err
-	}
-	for _, e := range edges {
-		p := &out[e.i]
-		base := bases[p.Index]
-		// Slot end is bounded by what exists plus what we write.
-		buf := make([]byte, tk.ChunkSize)
-		copy(buf, base)
-		copy(buf[e.within:], p.Data)
-		valid := e.within + int64(len(p.Data))
-		if int64(len(base)) > valid {
-			valid = int64(len(base))
-		}
-		p.Data = buf[:valid]
-	}
-	return out, nil
-}
-
-// readBaseSlots reads the current content of the given chunk slots from
-// the latest published version, zero-filling holes. The result maps each
-// slot index to its existing bytes (nil when the version ends before the
-// slot). All slots share one metadata-tree handle and their chunk
-// fetches run in parallel.
-func (c *Client) readBaseSlots(blob uint64, latest vmanager.VersionMeta, chunkSize int64, indices []int64) (map[int64][]byte, error) {
-	bases := make(map[int64][]byte, len(indices))
-	if latest.Version == 0 {
-		return bases, nil
-	}
-	var live []int64
-	for _, idx := range indices {
-		if slotLo, _ := chunk.SlotRange(idx, chunkSize); slotLo < latest.Size {
-			live = append(live, idx)
-		}
-	}
-	if len(live) == 0 {
-		return bases, nil
-	}
-	tree, err := c.vm.Tree(blob)
-	if err != nil {
-		return nil, err
-	}
-	var mu sync.Mutex
-	var firstErr error
-	var wg sync.WaitGroup
-	for _, idx := range live {
-		wg.Add(1)
-		go func(idx int64) {
-			defer wg.Done()
-			slotLo, _ := chunk.SlotRange(idx, chunkSize)
-			baseLen := chunkSize
-			if latest.Size-slotLo < baseLen {
-				baseLen = latest.Size - slotLo
-			}
-			buf := make([]byte, baseLen)
-			descs, err := tree.Read(latest.Version, idx, idx+1)
-			if err == nil && len(descs) == 1 && !descs[0].ID.IsZero() {
-				var data []byte
-				data, err = c.fetchReplica(descs[0])
-				if err == nil {
-					copy(buf, data)
-				}
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			bases[idx] = buf
-		}(idx)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return bases, nil
+	return w.Version(), nil
 }
 
 // Read returns length bytes at offset from the given version (0 = latest
 // published). Holes read as zeros; reads past the version size fail with
-// ErrShortRead.
+// ErrShortRead. It is a compatibility wrapper over the streaming
+// BlobReader.
 func (c *Client) Read(blob uint64, version uint64, offset, length int64) ([]byte, error) {
-	start := c.now()
-	if err := c.gate.Allow(c.user, instrument.OpRead); err != nil {
-		c.event(instrument.OpRead, blob, version, offset, length, err)
-		return nil, err
+	return c.ReadContext(context.Background(), blob, version, offset, length)
+}
+
+// ReadContext is Read with cancellation: a cancelled ctx aborts in-flight
+// chunk fetches. Unlike NewReader, a negative length is an error here
+// (the historical Read contract), not a to-the-end request.
+func (c *Client) ReadContext(ctx context.Context, blob uint64, version uint64, offset, length int64) ([]byte, error) {
+	if length < 0 {
+		return nil, fmt.Errorf("%w: negative length %d", ErrShortRead, length)
 	}
-	vm, err := c.resolveVersion(blob, version)
+	b, err := c.Open(ctx, blob)
 	if err != nil {
 		return nil, err
 	}
-	if offset < 0 || length < 0 || offset+length > vm.Size {
-		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrShortRead, offset, offset+length, vm.Size)
-	}
-	data, err := c.readRange(blob, vm.Version, offset, length)
-	ev := instrument.Event{
-		Time: c.now(), Actor: instrument.ActorClient, Node: c.user, User: c.user,
-		Op: instrument.OpRead, Blob: blob, Version: vm.Version,
-		Offset: offset, Bytes: length, Dur: c.now().Sub(start),
-	}
+	r, err := b.NewReader(ctx, version, offset, length)
 	if err != nil {
-		ev.Err = err.Error()
+		return nil, err
 	}
-	c.emit.Emit(ev)
-	return data, err
+	defer r.Close()
+	out := make([]byte, length)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Size returns the size of a version (0 = latest).
@@ -484,105 +335,143 @@ func (c *Client) resolveVersion(blob, version uint64) (vmanager.VersionMeta, err
 	return c.vm.Version(blob, version)
 }
 
-func (c *Client) readRange(blob, version uint64, offset, length int64) ([]byte, error) {
-	info, err := c.vm.Info(blob)
-	if err != nil {
-		return nil, err
+// storeReplicas pushes one chunk to every placement target in parallel
+// and returns the providers that accepted it, in placement order
+// (primary first). It fails when fewer than the write quorum landed,
+// wrapping the per-replica causes — lookup failures included — so a
+// fully failed chunk reports why.
+func (c *Client) storeReplicas(ctx context.Context, id chunk.ID, data []byte, targets []string) ([]string, error) {
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for k, pid := range targets {
+		wg.Add(1)
+		go func(k int, pid string) {
+			defer wg.Done()
+			conn, err := c.dir.Lookup(ctx, pid)
+			if err != nil {
+				errs[k] = fmt.Errorf("lookup %s: %w", pid, err)
+				return
+			}
+			if err := conn.Store(ctx, c.user, id, data); err != nil {
+				errs[k] = fmt.Errorf("store %s: %w", pid, err)
+			}
+		}(k, pid)
 	}
-	vm, err := c.vm.Version(blob, version)
-	if err != nil {
-		return nil, err
+	wg.Wait()
+	stored := make([]string, 0, len(targets))
+	for k := range targets {
+		if errs[k] == nil {
+			stored = append(stored, targets[k])
+		}
 	}
-	return c.readRawChecked(blob, version, vm.Size, offset, length, info.ChunkSize)
+	need := c.quorum
+	if need <= 0 || need > len(targets) {
+		need = len(targets)
+	}
+	if len(stored) < need {
+		return nil, fmt.Errorf("%w: %d/%d replicas stored, quorum %d: %w",
+			ErrNoReplica, len(stored), len(targets), need, errors.Join(errs...))
+	}
+	return stored, nil
 }
 
-func (c *Client) readRawChecked(blob, version uint64, size, offset, length, chunkSize int64) ([]byte, error) {
-	if length == 0 {
+// storeSlot stores the chunk slot beginning at absolute byte offset
+// start. Partial slots (a head slot entered mid-way, or a tail slot that
+// does not reach the slot end) are first merged over the slot's current
+// content from the latest published version, so the stored chunk always
+// begins at its slot base. Returns the slot index and the published
+// descriptor.
+func (c *Client) storeSlot(ctx context.Context, blob uint64, chunkSize, start int64, data []byte) (int64, chunk.Desc, error) {
+	idx := start / chunkSize
+	slotLo, _ := chunk.SlotRange(idx, chunkSize)
+	within := start - slotLo
+	if within != 0 || int64(len(data)) != chunkSize {
+		base, err := c.baseSlot(ctx, blob, chunkSize, idx)
+		if err != nil {
+			return 0, chunk.Desc{}, fmt.Errorf("chunk %d: %w", idx, err)
+		}
+		buf := make([]byte, chunkSize)
+		copy(buf, base)
+		copy(buf[within:], data)
+		valid := within + int64(len(data))
+		if int64(len(base)) > valid {
+			valid = int64(len(base))
+		}
+		data = buf[:valid]
+	}
+	id := chunk.Sum(data)
+	placement, err := c.pm.Allocate(1, c.replicas)
+	if err != nil {
+		return 0, chunk.Desc{}, fmt.Errorf("chunk %d: %w", idx, err)
+	}
+	stored, err := c.storeReplicas(ctx, id, data, placement[0])
+	if err != nil {
+		return 0, chunk.Desc{}, fmt.Errorf("chunk %d: %w", idx, err)
+	}
+	return idx, chunk.Desc{ID: id, Size: int64(len(data)), Providers: stored}, nil
+}
+
+// baseSlot reads the current content of one chunk slot from the latest
+// published version: nil when the version ends before the slot or no
+// version exists, otherwise the slot's existing bytes (shorter than the
+// chunk size at the BLOB's tail).
+func (c *Client) baseSlot(ctx context.Context, blob uint64, chunkSize, idx int64) ([]byte, error) {
+	latest, err := c.vm.Latest(blob)
+	if err != nil {
+		return nil, err
+	}
+	slotLo, _ := chunk.SlotRange(idx, chunkSize)
+	if latest.Version == 0 || slotLo >= latest.Size {
 		return nil, nil
 	}
+	baseLen := chunkSize
+	if latest.Size-slotLo < baseLen {
+		baseLen = latest.Size - slotLo
+	}
+	buf := make([]byte, baseLen)
 	tree, err := c.vm.Tree(blob)
 	if err != nil {
 		return nil, err
 	}
-	loIdx := offset / chunkSize
-	hiIdx := (offset + length - 1) / chunkSize
-	descs, err := tree.Read(version, loIdx, hiIdx+1)
+	descs, err := tree.Read(latest.Version, idx, idx+1)
 	if err != nil {
 		return nil, err
 	}
-	chunks := make([][]byte, len(descs))
-	sem := make(chan struct{}, c.workers)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for i, d := range descs {
-		if d.ID.IsZero() {
-			continue // hole: zeros
+	if len(descs) == 1 && !descs[0].ID.IsZero() {
+		data, err := c.fetchReplica(ctx, descs[0])
+		if err != nil {
+			return nil, err
 		}
-		wg.Add(1)
-		go func(i int, d chunk.Desc) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			data, err := c.fetchReplica(d)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			chunks[i] = data
-		}(i, d)
+		copy(buf, data)
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	out := make([]byte, length)
-	for i := range descs {
-		data := chunks[i]
-		if len(data) == 0 {
-			continue
-		}
-		// Copy the overlap of [slotLo, slotLo+len(data)) with the
-		// requested window [offset, offset+length) in one shot.
-		slotLo, _ := chunk.SlotRange(loIdx+int64(i), chunkSize)
-		lo, hi := slotLo, slotLo+int64(len(data))
-		if lo < offset {
-			lo = offset
-		}
-		if hi > offset+length {
-			hi = offset + length
-		}
-		if hi <= lo {
-			continue
-		}
-		copy(out[lo-offset:hi-offset], data[lo-slotLo:hi-slotLo])
-	}
-	return out, nil
+	return buf, nil
 }
 
 // fetchReplica serves the chunk from one of its replicas: serial
 // failover in placement order by default, or a concurrent
 // first-success-wins race when hedged reads are on.
-func (c *Client) fetchReplica(d chunk.Desc) ([]byte, error) {
+func (c *Client) fetchReplica(ctx context.Context, d chunk.Desc) ([]byte, error) {
 	if c.hedged && len(d.Providers) > 1 {
-		return c.fetchHedged(d)
+		return c.fetchHedged(ctx, d)
 	}
 	var lastErr error
 	for _, pid := range d.Providers {
-		conn, err := c.dir.Lookup(pid)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		conn, err := c.dir.Lookup(ctx, pid)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		data, err := conn.Fetch(c.user, d.ID)
+		data, err := conn.Fetch(ctx, c.user, d.ID)
 		if err == nil {
 			return data, nil
 		}
 		lastErr = err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if lastErr == nil {
 		lastErr = ErrUnavailable
@@ -591,23 +480,28 @@ func (c *Client) fetchReplica(d chunk.Desc) ([]byte, error) {
 }
 
 // fetchHedged races every replica and returns the first chunk served.
-// The channel is buffered so losing fetches finish and are discarded
-// without leaking goroutines; when all replicas fail, the per-replica
-// errors are aggregated.
-func (c *Client) fetchHedged(d chunk.Desc) ([]byte, error) {
+// Losing fetches are cancelled — not merely discarded — the moment a
+// winner lands, via a per-race child context; when all replicas fail,
+// the per-replica errors are aggregated. A cancelled parent ctx aborts
+// the whole race promptly.
+func (c *Client) fetchHedged(ctx context.Context, d chunk.Desc) ([]byte, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type result struct {
 		data []byte
 		err  error
 	}
+	// Buffered so cancelled losers can always deposit their result and
+	// exit without a receiver.
 	ch := make(chan result, len(d.Providers))
 	for _, pid := range d.Providers {
 		go func(pid string) {
-			conn, err := c.dir.Lookup(pid)
+			conn, err := c.dir.Lookup(hctx, pid)
 			if err != nil {
 				ch <- result{err: fmt.Errorf("lookup %s: %w", pid, err)}
 				return
 			}
-			data, err := conn.Fetch(c.user, d.ID)
+			data, err := conn.Fetch(hctx, c.user, d.ID)
 			if err != nil {
 				ch <- result{err: fmt.Errorf("fetch %s: %w", pid, err)}
 				return
@@ -617,11 +511,15 @@ func (c *Client) fetchHedged(d chunk.Desc) ([]byte, error) {
 	}
 	errs := make([]error, 0, len(d.Providers))
 	for range d.Providers {
-		r := <-ch
-		if r.err == nil {
-			return r.data, nil
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case r := <-ch:
+			if r.err == nil {
+				return r.data, nil
+			}
+			errs = append(errs, r.err)
 		}
-		errs = append(errs, r.err)
 	}
 	return nil, fmt.Errorf("%w: chunk %s: %w", ErrUnavailable, d.ID.Short(), errors.Join(errs...))
 }

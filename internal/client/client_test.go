@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -40,7 +41,7 @@ func newBed(t *testing.T, nProviders int) *bed {
 	return b
 }
 
-func (b *bed) Lookup(id string) (Conn, error) {
+func (b *bed) Lookup(_ context.Context, id string) (Conn, error) {
 	p, ok := b.providers[id]
 	if !ok {
 		return nil, fmt.Errorf("no provider %s", id)
@@ -292,7 +293,7 @@ func TestWriteQuorumClampedToReplicationDegree(t *testing.T) {
 func TestLookupFailuresAreReported(t *testing.T) {
 	b := newBed(t, 2)
 	sentinel := errors.New("directory exploded")
-	c := New("alice", b.vm, b.pm, DirectoryFunc(func(string) (Conn, error) {
+	c := New("alice", b.vm, b.pm, DirectoryFunc(func(context.Context, string) (Conn, error) {
 		return nil, sentinel
 	}))
 	info, _ := c.Create(8)
@@ -350,7 +351,7 @@ func TestHedgedReadMatchesSerial(t *testing.T) {
 
 type denyGate struct{ blocked map[string]bool }
 
-func (g denyGate) Allow(user string, op instrument.Op) error {
+func (g denyGate) Allow(_ context.Context, user string, op instrument.Op) error {
 	if g.blocked[user] {
 		return ErrBlocked
 	}

@@ -1,0 +1,407 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blobseer/internal/chunk"
+)
+
+// plainReader hides bytes.Reader's WriterTo so io.Copy exercises the
+// destination's ReaderFrom instead.
+type plainReader struct{ r io.Reader }
+
+func (p plainReader) Read(b []byte) (int, error) { return p.r.Read(b) }
+
+func TestStreamWriterReaderRoundTrip(t *testing.T) {
+	b := newBed(t, 4)
+	c := b.client("alice")
+	ctx := context.Background()
+	info, err := c.Create(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c.Open(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream at an unaligned offset in odd-sized pieces so head, interior
+	// and tail slots all occur.
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 5) // 80 bytes
+	w, err := blob.NewWriter(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{5, 9, 1, 20, 45} {
+		if _, err := w.Write(payload[:n]); err != nil {
+			t.Fatal(err)
+		}
+		payload = payload[n:]
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Version() != 1 {
+		t.Fatalf("version=%d", w.Version())
+	}
+	want := append(make([]byte, 3), bytes.Repeat([]byte("0123456789abcdef"), 5)...)
+
+	r, err := blob.NewReader(ctx, 0, 0, -1) // -1 = to end of version
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != int64(len(want)) {
+		t.Fatalf("reader size=%d want %d", r.Size(), len(want))
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("round trip mismatch: got %d bytes", len(got))
+	}
+}
+
+func TestStreamWriteToMatchesRead(t *testing.T) {
+	b := newBed(t, 4)
+	c := b.client("alice")
+	ctx := context.Background()
+	info, _ := c.Create(16)
+	payload := bytes.Repeat([]byte("streaming-writer-to!"), 13)
+	if _, err := c.Write(info.ID, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c.Open(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := blob.NewReader(ctx, 0, 7, int64(len(payload))-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var buf bytes.Buffer
+	n, err := io.Copy(&buf, r) // dispatches to WriteTo
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(payload))-7 || !bytes.Equal(buf.Bytes(), payload[7:]) {
+		t.Fatalf("WriteTo mismatch: n=%d", n)
+	}
+}
+
+func TestStreamReaderSeek(t *testing.T) {
+	b := newBed(t, 4)
+	c := b.client("alice")
+	ctx := context.Background()
+	info, _ := c.Create(8)
+	payload := []byte("0123456789abcdefghijklmnopqrstuv") // 32 bytes, 4 chunks
+	if _, err := c.Write(info.ID, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := c.Open(ctx, info.ID)
+	r, err := blob.NewReader(ctx, 0, 0, int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if pos, err := r.Seek(20, io.SeekStart); err != nil || pos != 20 {
+		t.Fatalf("seek: pos=%d err=%v", pos, err)
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil || string(rest) != string(payload[20:]) {
+		t.Fatalf("after seek: %q err=%v", rest, err)
+	}
+	// Seek backward across already-evicted chunks: they must be refetched.
+	if _, err := r.Seek(-int64(len(payload)), io.SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	all, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(all, payload) {
+		t.Fatalf("after rewind: %d bytes err=%v", len(all), err)
+	}
+	if pos, _ := r.Seek(5, io.SeekCurrent); pos != int64(len(payload))+5 {
+		t.Fatalf("seek past end: pos=%d", pos)
+	}
+	if _, err := r.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read past end: %v", err)
+	}
+	if _, err := r.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+}
+
+func TestStreamWriterReadFrom(t *testing.T) {
+	b := newBed(t, 4)
+	c := b.client("alice")
+	ctx := context.Background()
+	info, _ := c.Create(8)
+	payload := bytes.Repeat([]byte("reader-from-path"), 9)
+	blob, _ := c.Open(ctx, info.ID)
+	w, err := blob.NewWriter(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := io.Copy(w, plainReader{bytes.NewReader(payload)}) // dst ReadFrom
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("copy: n=%d err=%v", n, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(info.ID, 0, 0, int64(len(payload)))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read back mismatch err=%v", err)
+	}
+}
+
+func TestStreamWriterCloseIdempotentAndWriteAfterClose(t *testing.T) {
+	b := newBed(t, 2)
+	c := b.client("alice")
+	ctx := context.Background()
+	info, _ := c.Create(8)
+	blob, _ := c.Open(ctx, info.ID)
+	w, _ := blob.NewWriter(ctx, 0)
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := w.Write([]byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+	r, _ := blob.NewReader(ctx, 0, 0, 1)
+	if _, err := io.ReadAll(r); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Close()
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+// blockingConn blocks every transfer until its context is cancelled,
+// counting how many are parked — the shape of a stuck replica.
+type blockingConn struct {
+	inner   Conn
+	blocked *atomic.Int64
+}
+
+func (c blockingConn) Store(ctx context.Context, user string, id chunk.ID, data []byte) error {
+	c.blocked.Add(1)
+	defer c.blocked.Add(-1)
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func (c blockingConn) Fetch(ctx context.Context, user string, id chunk.ID) ([]byte, error) {
+	c.blocked.Add(1)
+	defer c.blocked.Add(-1)
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestHedgedReadCancelsLosers writes a replicated blob, then reads it
+// hedged through a directory where every replica except one blocks
+// forever: the fast replica must win, and winning must cancel — not
+// strand — the losing fetches, leaving no goroutine behind.
+func TestHedgedReadCancelsLosers(t *testing.T) {
+	b := newBed(t, 3)
+	writer := b.client("alice", WithReplicas(3))
+	info, _ := writer.Create(8)
+	payload := []byte("hedged-loser-cancellation-check!")
+	if _, err := writer.Write(info.ID, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	var blocked atomic.Int64
+	dir := DirectoryFunc(func(ctx context.Context, id string) (Conn, error) {
+		conn, err := b.Lookup(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if id == "p00" {
+			return conn, nil // the only replica that answers
+		}
+		return blockingConn{inner: conn, blocked: &blocked}, nil
+	})
+	reader := New("alice", b.vm, b.pm, dir, WithHedgedReads(true))
+
+	before := runtime.NumGoroutine()
+	got, err := reader.Read(info.ID, 0, 0, int64(len(payload)))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("hedged read: %q err=%v", got, err)
+	}
+	// The winner's return must propagate cancellation to the parked
+	// losers promptly.
+	waitFor(t, "losing fetches to unblock", func() bool { return blocked.Load() == 0 })
+	waitFor(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+}
+
+// TestHedgedReadParentCancellation parks every replica and cancels the
+// caller's context: the read must fail with context.Canceled promptly
+// and all replica fetches must unblock.
+func TestHedgedReadParentCancellation(t *testing.T) {
+	b := newBed(t, 3)
+	writer := b.client("alice", WithReplicas(3))
+	info, _ := writer.Create(8)
+	if _, err := writer.Write(info.ID, 0, []byte("parked!!")); err != nil {
+		t.Fatal(err)
+	}
+
+	var blocked atomic.Int64
+	dir := DirectoryFunc(func(ctx context.Context, id string) (Conn, error) {
+		conn, err := b.Lookup(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		return blockingConn{inner: conn, blocked: &blocked}, nil
+	})
+	reader := New("alice", b.vm, b.pm, dir, WithHedgedReads(true))
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := reader.ReadContext(ctx, info.ID, 0, 0, 8)
+		errCh <- err
+	}()
+	waitFor(t, "fetches to park", func() bool { return blocked.Load() == 3 })
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled read did not return")
+	}
+	waitFor(t, "parked fetches to unblock", func() bool { return blocked.Load() == 0 })
+	waitFor(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+}
+
+// TestWriterCancellationAbortsStores parks every replica store and
+// cancels the writer's context mid-stream: Close must report the
+// cancellation, publish nothing, and the parked stores must unblock.
+func TestWriterCancellationAbortsStores(t *testing.T) {
+	b := newBed(t, 2)
+	var blocked atomic.Int64
+	dir := DirectoryFunc(func(ctx context.Context, id string) (Conn, error) {
+		conn, err := b.Lookup(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		return blockingConn{inner: conn, blocked: &blocked}, nil
+	})
+	c := New("alice", b.vm, b.pm, dir)
+	info, err := c.Create(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	blob, err := c.Open(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := blob.NewWriter(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(bytes.Repeat([]byte("z"), 16)); err != nil { // two full slots flush
+		t.Fatal(err)
+	}
+	waitFor(t, "stores to park", func() bool { return blocked.Load() > 0 })
+	cancel()
+	if err := w.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from Close, got %v", err)
+	}
+	waitFor(t, "parked stores to unblock", func() bool { return blocked.Load() == 0 })
+	if _, err := b.vm.Latest(info.ID); err == nil {
+		if v, _ := c.Latest(info.ID); v != 0 {
+			t.Fatalf("cancelled write published version %d", v)
+		}
+	}
+}
+
+// TestStreamReadMatchesBufferedAcrossShapes cross-checks the streaming
+// reader against the buffered wrapper over a grid of window shapes,
+// including hole-spanning and chunk-straddling ranges.
+func TestStreamReadMatchesBufferedAcrossShapes(t *testing.T) {
+	b := newBed(t, 4)
+	c := b.client("alice", WithPrefetch(2))
+	ctx := context.Background()
+	info, _ := c.Create(8)
+	// Hole in chunks 2..3: write [0,12) and [35,50).
+	if _, err := c.Write(info.ID, 0, bytes.Repeat([]byte("A"), 12)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(info.ID, 35, bytes.Repeat([]byte("B"), 15)); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := c.Open(ctx, info.ID)
+	for _, win := range [][2]int64{{0, 50}, {3, 17}, {10, 30}, {34, 2}, {12, 23}, {49, 1}, {20, 0}} {
+		off, n := win[0], win[1]
+		want, err := c.Read(info.ID, 0, off, n)
+		if err != nil {
+			t.Fatalf("buffered [%d,%d): %v", off, off+n, err)
+		}
+		r, err := blob.NewReader(ctx, 0, off, n)
+		if err != nil {
+			t.Fatalf("reader [%d,%d): %v", off, off+n, err)
+		}
+		got, err := io.ReadAll(r)
+		r.Close()
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("window [%d,%d): stream %d bytes vs buffered %d, err=%v",
+				off, off+n, len(got), len(want), err)
+		}
+	}
+	if _, err := blob.NewReader(ctx, 0, 40, 20); !errors.Is(err, ErrShortRead) {
+		t.Fatalf("past-end window: %v", err)
+	}
+	// The buffered wrapper keeps the historical contract: negative
+	// length is an error, not a to-the-end request (regression: used to
+	// panic in make([]byte, -1)).
+	if _, err := c.Read(info.ID, 0, 0, -1); !errors.Is(err, ErrShortRead) {
+		t.Fatalf("negative length: %v", err)
+	}
+}
+
+// guard against accidental interface regressions
+var (
+	_ io.ReadSeekCloser = (*BlobReader)(nil)
+	_ io.WriterTo       = (*BlobReader)(nil)
+	_ io.Writer         = (*BlobWriter)(nil)
+	_ io.ReaderFrom     = (*BlobWriter)(nil)
+	_ io.Closer         = (*BlobWriter)(nil)
+)

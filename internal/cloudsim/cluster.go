@@ -1,6 +1,7 @@
 package cloudsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -307,7 +308,7 @@ func (c *Client) step() {
 		return
 	}
 	if d.Cfg.Security {
-		if err := d.Enf.Allow(c.user, instrument.OpWrite); err != nil {
+		if err := d.Enf.Allow(context.Background(), c.user, instrument.OpWrite); err != nil {
 			// Blocked or throttled: correct clients back off briefly;
 			// attackers keep hammering until their block outlives the run.
 			retry := 500 * time.Millisecond

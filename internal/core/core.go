@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -241,7 +242,10 @@ func (c *Cluster) Provider(id string) (*provider.Provider, bool) {
 }
 
 // Lookup implements client.Directory.
-func (c *Cluster) Lookup(id string) (client.Conn, error) {
+func (c *Cluster) Lookup(ctx context.Context, id string) (client.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p, ok := c.providers[id]
@@ -315,28 +319,28 @@ func (c *Cluster) Heal(now time.Time) (selfopt.RepairReport, error) {
 // poolAdapter exposes the cluster's providers as a selfopt.Pool.
 type poolAdapter struct{ c *Cluster }
 
-func (a poolAdapter) Fetch(id string, ch chunk.ID) ([]byte, error) {
+func (a poolAdapter) Fetch(ctx context.Context, id string, ch chunk.ID) ([]byte, error) {
 	p, ok := a.c.Provider(id)
 	if !ok {
 		return nil, fmt.Errorf("core: no provider %s", id)
 	}
-	return p.Fetch("selfopt", ch)
+	return p.Fetch(ctx, "selfopt", ch)
 }
 
-func (a poolAdapter) Store(id string, ch chunk.ID, data []byte) error {
+func (a poolAdapter) Store(ctx context.Context, id string, ch chunk.ID, data []byte) error {
 	p, ok := a.c.Provider(id)
 	if !ok {
 		return fmt.Errorf("core: no provider %s", id)
 	}
-	return p.Store("selfopt", ch, data)
+	return p.Store(ctx, "selfopt", ch, data)
 }
 
-func (a poolAdapter) Remove(id string, ch chunk.ID) error {
+func (a poolAdapter) Remove(ctx context.Context, id string, ch chunk.ID) error {
 	p, ok := a.c.Provider(id)
 	if !ok {
 		return fmt.Errorf("core: no provider %s", id)
 	}
-	return p.Remove(ch)
+	return p.Remove(ctx, ch)
 }
 
 func (a poolAdapter) Alive(id string) bool {

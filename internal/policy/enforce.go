@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -74,8 +75,13 @@ func NewEnforcer(opts ...EnforcerOption) *Enforcer {
 }
 
 // Allow implements client.Gatekeeper: blocked users are rejected,
-// throttled users are rejected above their admitted rate.
-func (en *Enforcer) Allow(user string, op instrument.Op) error {
+// throttled users are rejected above their admitted rate. A cancelled
+// ctx is rejected before any policy state is consulted (or mutated —
+// token buckets are not charged for abandoned requests).
+func (en *Enforcer) Allow(ctx context.Context, user string, op instrument.Op) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	now := en.now()
 	en.mu.Lock()
 	defer en.mu.Unlock()

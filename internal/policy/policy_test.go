@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"errors"
 	"strconv"
 	"strings"
@@ -251,11 +252,11 @@ func TestEnforcerBlockExpiry(t *testing.T) {
 	now := at(0)
 	en := NewEnforcer(WithClock(func() time.Time { return now }))
 	en.Block("u", 10*time.Second, Violation{Time: at(0), User: "u"})
-	if err := en.Allow("u", instrument.OpWrite); !errors.Is(err, ErrBlocked) {
+	if err := en.Allow(context.Background(), "u", instrument.OpWrite); !errors.Is(err, ErrBlocked) {
 		t.Fatalf("want ErrBlocked, got %v", err)
 	}
 	now = at(11)
-	if err := en.Allow("u", instrument.OpWrite); err != nil {
+	if err := en.Allow(context.Background(), "u", instrument.OpWrite); err != nil {
 		t.Fatalf("after expiry: %v", err)
 	}
 	blocks, unblocks := en.Counters()
@@ -269,18 +270,18 @@ func TestEnforcerThrottle(t *testing.T) {
 	en := NewEnforcer(WithClock(func() time.Time { return now }))
 	en.Throttle("u", 2, Violation{Time: at(0), User: "u"})
 	// Bucket starts with 2 tokens.
-	if err := en.Allow("u", instrument.OpRead); err != nil {
+	if err := en.Allow(context.Background(), "u", instrument.OpRead); err != nil {
 		t.Fatal(err)
 	}
-	if err := en.Allow("u", instrument.OpRead); err != nil {
+	if err := en.Allow(context.Background(), "u", instrument.OpRead); err != nil {
 		t.Fatal(err)
 	}
-	if err := en.Allow("u", instrument.OpRead); !errors.Is(err, ErrThrottled) {
+	if err := en.Allow(context.Background(), "u", instrument.OpRead); !errors.Is(err, ErrThrottled) {
 		t.Fatalf("want ErrThrottled, got %v", err)
 	}
 	// One second refills 2 tokens.
 	now = at(1)
-	if err := en.Allow("u", instrument.OpRead); err != nil {
+	if err := en.Allow(context.Background(), "u", instrument.OpRead); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,7 @@
 package provider
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -264,7 +265,10 @@ func (p *Provider) Restart() {
 	})
 }
 
-func (p *Provider) begin() error {
+func (p *Provider) begin(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if p.stopped.Load() {
 		return ErrStopped
 	}
@@ -276,10 +280,11 @@ func (p *Provider) end() {
 	p.active.Add(-1)
 }
 
-// Store persists one chunk replica on behalf of user.
-func (p *Provider) Store(user string, id chunk.ID, data []byte) error {
+// Store persists one chunk replica on behalf of user. A cancelled ctx
+// rejects the transfer before it touches the store.
+func (p *Provider) Store(ctx context.Context, user string, id chunk.ID, data []byte) error {
 	start := p.now()
-	if err := p.begin(); err != nil {
+	if err := p.begin(ctx); err != nil {
 		return err
 	}
 	defer p.end()
@@ -299,10 +304,11 @@ func (p *Provider) Store(user string, id chunk.ID, data []byte) error {
 	return err
 }
 
-// Fetch returns one chunk replica on behalf of user.
-func (p *Provider) Fetch(user string, id chunk.ID) ([]byte, error) {
+// Fetch returns one chunk replica on behalf of user. A cancelled ctx
+// rejects the transfer before it touches the store.
+func (p *Provider) Fetch(ctx context.Context, user string, id chunk.ID) ([]byte, error) {
 	start := p.now()
-	if err := p.begin(); err != nil {
+	if err := p.begin(ctx); err != nil {
 		return nil, err
 	}
 	defer p.end()
@@ -323,8 +329,8 @@ func (p *Provider) Fetch(user string, id chunk.ID) ([]byte, error) {
 }
 
 // Remove drops one reference to a chunk.
-func (p *Provider) Remove(id chunk.ID) error {
-	if err := p.begin(); err != nil {
+func (p *Provider) Remove(ctx context.Context, id chunk.ID) error {
+	if err := p.begin(ctx); err != nil {
 		return err
 	}
 	defer p.end()

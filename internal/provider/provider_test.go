@@ -2,6 +2,7 @@ package provider
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,6 +12,9 @@ import (
 	"blobseer/internal/chunk"
 	"blobseer/internal/instrument"
 )
+
+// bg is the no-deadline context provider calls run under in these tests.
+var bg = context.Background()
 
 func TestMemStorePutGet(t *testing.T) {
 	s := NewMemStore(0)
@@ -97,10 +101,10 @@ func TestProviderStoreFetch(t *testing.T) {
 	rec := &instrument.Recorder{}
 	p := New("p1", "rennes", 0, WithEmitter(rec))
 	id := chunk.Sum([]byte("hello"))
-	if err := p.Store("alice", id, []byte("hello")); err != nil {
+	if err := p.Store(bg, "alice", id, []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := p.Fetch("bob", id)
+	got, err := p.Fetch(bg, "bob", id)
 	if err != nil || string(got) != "hello" {
 		t.Fatalf("got=%q err=%v", got, err)
 	}
@@ -127,17 +131,17 @@ func TestProviderStopRestart(t *testing.T) {
 		t.Fatal("not stopped")
 	}
 	id := chunk.Sum([]byte("x"))
-	if err := p.Store("u", id, []byte("x")); !errors.Is(err, ErrStopped) {
+	if err := p.Store(bg, "u", id, []byte("x")); !errors.Is(err, ErrStopped) {
 		t.Fatalf("want ErrStopped, got %v", err)
 	}
-	if _, err := p.Fetch("u", id); !errors.Is(err, ErrStopped) {
+	if _, err := p.Fetch(bg, "u", id); !errors.Is(err, ErrStopped) {
 		t.Fatalf("want ErrStopped, got %v", err)
 	}
-	if err := p.Remove(id); !errors.Is(err, ErrStopped) {
+	if err := p.Remove(bg, id); !errors.Is(err, ErrStopped) {
 		t.Fatalf("want ErrStopped, got %v", err)
 	}
 	p.Restart()
-	if err := p.Store("u", id, []byte("x")); err != nil {
+	if err := p.Store(bg, "u", id, []byte("x")); err != nil {
 		t.Fatalf("after restart: %v", err)
 	}
 }
@@ -148,7 +152,7 @@ func TestProviderFree(t *testing.T) {
 		t.Fatalf("free=%d", p.Free())
 	}
 	id := chunk.Sum([]byte("1234"))
-	if err := p.Store("u", id, []byte("1234")); err != nil {
+	if err := p.Store(bg, "u", id, []byte("1234")); err != nil {
 		t.Fatal(err)
 	}
 	if p.Free() != 6 {
@@ -164,7 +168,7 @@ func TestProviderKeysSorted(t *testing.T) {
 	p := New("p1", "z", 0)
 	for i := 0; i < 20; i++ {
 		data := []byte(fmt.Sprintf("chunk-%d", i))
-		if err := p.Store("u", chunk.Sum(data), data); err != nil {
+		if err := p.Store(bg, "u", chunk.Sum(data), data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -207,11 +211,11 @@ func TestProviderConcurrent(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				data := []byte(fmt.Sprintf("g%d-i%d", g, i))
 				id := chunk.Sum(data)
-				if err := p.Store("u", id, data); err != nil {
+				if err := p.Store(bg, "u", id, data); err != nil {
 					t.Errorf("store: %v", err)
 					return
 				}
-				got, err := p.Fetch("u", id)
+				got, err := p.Fetch(bg, "u", id)
 				if err != nil || string(got) != string(data) {
 					t.Errorf("fetch: %q %v", got, err)
 					return

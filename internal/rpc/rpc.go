@@ -6,6 +6,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -50,14 +51,16 @@ type ProviderService struct {
 	P *provider.Provider
 }
 
-// Store handles chunk writes.
+// Store handles chunk writes. net/rpc carries no deadline on the wire,
+// so server-side work runs under the background context; cancellation is
+// a client-side concern (the caller stops waiting).
 func (s *ProviderService) Store(args *StoreArgs, _ *struct{}) error {
-	return s.P.Store(args.User, args.ID, args.Data)
+	return s.P.Store(context.Background(), args.User, args.ID, args.Data)
 }
 
 // Fetch handles chunk reads.
 func (s *ProviderService) Fetch(args *FetchArgs, reply *FetchReply) error {
-	data, err := s.P.Fetch(args.User, args.ID)
+	data, err := s.P.Fetch(context.Background(), args.User, args.ID)
 	if err != nil {
 		return err
 	}
@@ -67,7 +70,7 @@ func (s *ProviderService) Fetch(args *FetchArgs, reply *FetchReply) error {
 
 // Remove handles chunk deletion.
 func (s *ProviderService) Remove(args *RemoveArgs, _ *struct{}) error {
-	return s.P.Remove(args.ID)
+	return s.P.Remove(context.Background(), args.ID)
 }
 
 // Stats reports provider counters.
@@ -141,23 +144,40 @@ func Dial(addr string) (*Conn, error) {
 	return &Conn{c: c}, nil
 }
 
+// call issues an async rpc call and waits for either its completion or
+// ctx cancellation. On cancellation the caller stops waiting immediately;
+// the in-flight call's goroutine drains itself when the reply arrives
+// (net/rpc buffers Done by one).
+func (c *Conn) call(ctx context.Context, method string, args, reply any) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	call := c.c.Go(method, args, reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case done := <-call.Done:
+		return done.Error
+	}
+}
+
 // Store implements client.Conn.
-func (c *Conn) Store(user string, id chunk.ID, data []byte) error {
-	return c.c.Call("Provider.Store", &StoreArgs{User: user, ID: id, Data: data}, &struct{}{})
+func (c *Conn) Store(ctx context.Context, user string, id chunk.ID, data []byte) error {
+	return c.call(ctx, "Provider.Store", &StoreArgs{User: user, ID: id, Data: data}, &struct{}{})
 }
 
 // Fetch implements client.Conn.
-func (c *Conn) Fetch(user string, id chunk.ID) ([]byte, error) {
+func (c *Conn) Fetch(ctx context.Context, user string, id chunk.ID) ([]byte, error) {
 	var reply FetchReply
-	if err := c.c.Call("Provider.Fetch", &FetchArgs{User: user, ID: id}, &reply); err != nil {
+	if err := c.call(ctx, "Provider.Fetch", &FetchArgs{User: user, ID: id}, &reply); err != nil {
 		return nil, err
 	}
 	return reply.Data, nil
 }
 
 // Remove drops one chunk reference on the remote provider.
-func (c *Conn) Remove(id chunk.ID) error {
-	return c.c.Call("Provider.Remove", &RemoveArgs{ID: id}, &struct{}{})
+func (c *Conn) Remove(ctx context.Context, id chunk.ID) error {
+	return c.call(ctx, "Provider.Remove", &RemoveArgs{ID: id}, &struct{}{})
 }
 
 // Stats fetches remote provider counters.
@@ -199,7 +219,10 @@ func (d *Directory) Register(id, addr string) {
 }
 
 // Lookup implements client.Directory.
-func (d *Directory) Lookup(id string) (client.Conn, error) {
+func (d *Directory) Lookup(ctx context.Context, id string) (client.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if c, ok := d.conns[id]; ok {

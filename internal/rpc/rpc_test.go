@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -12,6 +13,9 @@ import (
 	"blobseer/internal/provider"
 	"blobseer/internal/vmanager"
 )
+
+// bg is the no-deadline context transfers run under in these tests.
+var bg = context.Background()
 
 func startProvider(t *testing.T, id string) (*provider.Provider, *Server) {
 	t.Helper()
@@ -33,10 +37,10 @@ func TestStoreFetchOverTCP(t *testing.T) {
 	defer conn.Close()
 	data := []byte("over the wire")
 	id := chunk.Sum(data)
-	if err := conn.Store("alice", id, data); err != nil {
+	if err := conn.Store(bg, "alice", id, data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := conn.Fetch("bob", id)
+	got, err := conn.Fetch(bg, "bob", id)
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("fetch: %q err=%v", got, err)
 	}
@@ -53,11 +57,11 @@ func TestRemoteErrorsPropagate(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	_, err = conn.Fetch("u", chunk.Sum([]byte("missing")))
+	_, err = conn.Fetch(bg, "u", chunk.Sum([]byte("missing")))
 	if err == nil || !strings.Contains(err.Error(), "not found") {
 		t.Fatalf("want not-found error, got %v", err)
 	}
-	if err := conn.Remove(chunk.Sum([]byte("missing"))); err == nil {
+	if err := conn.Remove(bg, chunk.Sum([]byte("missing"))); err == nil {
 		t.Fatal("want error removing missing chunk")
 	}
 }
@@ -66,18 +70,18 @@ func TestDirectoryCachingAndUnknown(t *testing.T) {
 	_, srv := startProvider(t, "p1")
 	dir := NewDirectory(map[string]string{"p1": srv.Addr()})
 	defer dir.Close()
-	c1, err := dir.Lookup("p1")
+	c1, err := dir.Lookup(bg, "p1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := dir.Lookup("p1")
+	c2, err := dir.Lookup(bg, "p1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c1 != c2 {
 		t.Fatal("directory did not cache the connection")
 	}
-	if _, err := dir.Lookup("ghost"); err == nil {
+	if _, err := dir.Lookup(bg, "ghost"); err == nil {
 		t.Fatal("want error for unknown provider")
 	}
 }
@@ -133,11 +137,11 @@ func TestDirectoryRegisterReplaces(t *testing.T) {
 	defer dir.Close()
 	data := []byte("v1")
 	id := chunk.Sum(data)
-	conn, err := dir.Lookup("pX")
+	conn, err := dir.Lookup(bg, "pX")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := conn.Store("u", id, data); err != nil {
+	if err := conn.Store(bg, "u", id, data); err != nil {
 		t.Fatal(err)
 	}
 	if !p1.Has(id) {
@@ -146,11 +150,11 @@ func TestDirectoryRegisterReplaces(t *testing.T) {
 	// Re-point pX at a fresh provider; lookups must dial the new one.
 	p2, srv2 := startProvider(t, "pX2")
 	dir.Register("pX", srv2.Addr())
-	conn, err = dir.Lookup("pX")
+	conn, err = dir.Lookup(bg, "pX")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := conn.Store("u", id, data); err != nil {
+	if err := conn.Store(bg, "u", id, data); err != nil {
 		t.Fatal(err)
 	}
 	if !p2.Has(id) {

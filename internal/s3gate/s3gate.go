@@ -2,7 +2,14 @@
 // HTTP interface, reproducing the paper's Nimbus/Cumulus integration:
 // BlobSeer as the storage back end of an S3-compatible Cloud storage
 // service. Supported operations: create bucket, list buckets, put/get/
-// head/delete object, list objects.
+// head/delete object (GET honors single-range Range headers), list
+// objects.
+//
+// Object PUT and GET are fully streaming: bodies flow through the
+// client's BlobWriter/BlobReader chunk pipeline in both directions, so
+// the gateway never holds a whole object in one buffer and a client
+// that disconnects cancels the in-flight chunk transfers via the
+// request context.
 //
 // Authentication is a SigV2-style HMAC ("AWS <access>:<signature>" over
 // method, path and date); failures are reported to the instrumentation
@@ -11,6 +18,7 @@
 package s3gate
 
 import (
+	"context"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/base64"
@@ -29,7 +37,8 @@ import (
 	"blobseer/internal/instrument"
 )
 
-// MaxObjectSize bounds a single PUT (64 MiB chunks × 1024).
+// MaxObjectSize is the default bound on a single PUT (64 MiB chunks ×
+// 1024); WithMaxObjectSize overrides it per gateway.
 const MaxObjectSize = int64(1) << 36
 
 type object struct {
@@ -46,6 +55,7 @@ type Gateway struct {
 	emit    instrument.Emitter
 	now     func() time.Time
 	clOpts  []client.Option
+	maxObj  int64
 
 	mu      sync.Mutex
 	keys    map[string]string // accessKey → secret (nil = auth disabled)
@@ -92,12 +102,22 @@ func WithClientOptions(opts ...client.Option) Option {
 	return func(g *Gateway) { g.clOpts = append(g.clOpts, opts...) }
 }
 
+// WithMaxObjectSize overrides the PUT size bound (default MaxObjectSize).
+func WithMaxObjectSize(n int64) Option {
+	return func(g *Gateway) {
+		if n > 0 {
+			g.maxObj = n
+		}
+	}
+}
+
 // New returns a gateway over the cluster.
 func New(cluster *core.Cluster, opts ...Option) *Gateway {
 	g := &Gateway{
 		cluster: cluster,
 		emit:    instrument.Nop{},
 		now:     time.Now,
+		maxObj:  MaxObjectSize,
 		buckets: make(map[string]map[string]*object),
 	}
 	for _, o := range opts {
@@ -296,6 +316,11 @@ func (g *Gateway) objectOp(w http.ResponseWriter, r *http.Request, user, bucket,
 	}
 }
 
+// putObject streams the request body into a fresh BLOB through a
+// BlobWriter: chunk slots flush to their replica sets while the body is
+// still arriving, and the object's ETag is computed on the same pass.
+// Bodies larger than MaxObjectSize are rejected with EntityTooLarge —
+// never silently truncated — and the partial BLOB is reclaimed.
 func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket, key string) {
 	g.mu.Lock()
 	_, ok := g.buckets[bucket]
@@ -304,32 +329,66 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket
 		writeErr(w, http.StatusNotFound, "NoSuchBucket", bucket)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, MaxObjectSize))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "IncompleteBody", err.Error())
+	// A declared oversized body is rejected before a single byte is
+	// transferred or replicated.
+	if r.ContentLength > g.maxObj {
+		writeErr(w, http.StatusBadRequest, "EntityTooLarge",
+			fmt.Sprintf("body exceeds %d bytes", g.maxObj))
 		return
 	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
 	cl := g.clientFor(user)
-	info, err := cl.Create(0)
+	info, err := cl.CreateContext(ctx, 0)
 	if err != nil {
 		writeErr(w, http.StatusForbidden, "AccessDenied", err.Error())
 		return
 	}
-	if len(body) > 0 {
-		if _, err := cl.Write(info.ID, 0, body); err != nil {
-			writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
-			return
-		}
+	blob, err := cl.Open(ctx, info.ID)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
+		return
 	}
-	sum := sha256.Sum256(body)
-	etag := fmt.Sprintf("%q", base64.StdEncoding.EncodeToString(sum[:16]))
+	bw, err := blob.NewWriter(ctx, 0)
+	if err != nil {
+		writeErr(w, http.StatusForbidden, "AccessDenied", err.Error())
+		return
+	}
+	// abandon aborts the stream (cancel keeps Close from publishing a
+	// version that would immediately be reclaimed) and drops the blob.
+	abandon := func() {
+		cancel()
+		_ = bw.Close()
+		g.reclaim(info.ID)
+	}
+	// Reading one byte past the limit distinguishes an oversized body
+	// from one that is exactly the limit, without buffering either.
+	hash := sha256.New()
+	n, err := io.Copy(bw, io.TeeReader(io.LimitReader(r.Body, g.maxObj+1), hash))
+	switch {
+	case err != nil:
+		abandon()
+		writeErr(w, http.StatusBadRequest, "IncompleteBody", err.Error())
+		return
+	case n > g.maxObj:
+		abandon()
+		writeErr(w, http.StatusBadRequest, "EntityTooLarge",
+			fmt.Sprintf("body exceeds %d bytes", g.maxObj))
+		return
+	}
+	if err := bw.Close(); err != nil {
+		g.reclaim(info.ID)
+		writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
+		return
+	}
+	etag := fmt.Sprintf("%q", base64.StdEncoding.EncodeToString(hash.Sum(nil)[:16]))
 	g.mu.Lock()
 	var oldBlob uint64
 	if old, exists := g.buckets[bucket][key]; exists {
 		oldBlob = old.blob
 	}
 	g.buckets[bucket][key] = &object{
-		blob: info.ID, size: int64(len(body)), etag: etag,
+		blob: info.ID, size: n, etag: etag,
 		modified: g.now(), owner: user,
 	}
 	g.mu.Unlock()
@@ -340,6 +399,57 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket
 	w.WriteHeader(http.StatusOK)
 }
 
+// parseRange parses a single-range "bytes=..." header against an object
+// of the given size. ok=false means the header is malformed or
+// multi-range (callers ignore it and serve the full object, per RFC
+// 9110); satisfiable=false means it is well-formed but selects nothing.
+func parseRange(h string, size int64) (lo, hi int64, ok, satisfiable bool) {
+	spec, found := strings.CutPrefix(h, "bytes=")
+	if !found || strings.Contains(spec, ",") {
+		return 0, 0, false, false
+	}
+	first, last, found := strings.Cut(spec, "-")
+	if !found {
+		return 0, 0, false, false
+	}
+	if first == "" {
+		// Suffix range: last n bytes.
+		n, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || n < 0 {
+			return 0, 0, false, false
+		}
+		if n == 0 || size == 0 {
+			return 0, 0, true, false
+		}
+		if n > size {
+			n = size
+		}
+		return size - n, size - 1, true, true
+	}
+	lo, err := strconv.ParseInt(first, 10, 64)
+	if err != nil || lo < 0 {
+		return 0, 0, false, false
+	}
+	hi = size - 1
+	if last != "" {
+		hi, err = strconv.ParseInt(last, 10, 64)
+		if err != nil || hi < lo {
+			return 0, 0, false, false
+		}
+		if hi > size-1 {
+			hi = size - 1
+		}
+	}
+	if lo >= size {
+		return 0, 0, true, false
+	}
+	return lo, hi, true, true
+}
+
+// getObject streams the object (or the requested byte range of it) out
+// of a BlobReader: chunk fetches pipeline ahead of the HTTP write, so a
+// GET of a huge object starts responding after the first chunk and
+// never materializes the rest.
 func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request, user, bucket, key string) {
 	g.mu.Lock()
 	objs, ok := g.buckets[bucket]
@@ -352,24 +462,48 @@ func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request, user, bucket
 		writeErr(w, http.StatusNotFound, "NoSuchKey", bucket+"/"+key)
 		return
 	}
+	offset, length := int64(0), o.size
+	status := http.StatusOK
+	if h := r.Header.Get("Range"); h != "" && r.Method == http.MethodGet {
+		if lo, hi, ok, satisfiable := parseRange(h, o.size); ok {
+			if !satisfiable {
+				w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", o.size))
+				writeErr(w, http.StatusRequestedRangeNotSatisfiable, "InvalidRange", h)
+				return
+			}
+			offset, length = lo, hi-lo+1
+			status = http.StatusPartialContent
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", lo, hi, o.size))
+		}
+	}
 	w.Header().Set("ETag", o.etag)
-	w.Header().Set("Content-Length", strconv.FormatInt(o.size, 10))
+	w.Header().Set("Accept-Ranges", "bytes")
+	w.Header().Set("Content-Length", strconv.FormatInt(length, 10))
 	w.Header().Set("Last-Modified", o.modified.UTC().Format(http.TimeFormat))
 	if r.Method == http.MethodHead {
 		w.WriteHeader(http.StatusOK)
 		return
 	}
-	if o.size == 0 {
-		w.WriteHeader(http.StatusOK)
+	if length == 0 {
+		w.WriteHeader(status)
 		return
 	}
-	data, err := g.clientFor(user).Read(o.blob, 0, 0, o.size)
+	ctx := r.Context()
+	cl := g.clientFor(user)
+	blob, err := cl.Open(ctx, o.blob)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
 		return
 	}
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(data)
+	rd, err := blob.NewReader(ctx, 0, offset, length)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
+		return
+	}
+	defer rd.Close()
+	w.WriteHeader(status)
+	// io.Copy dispatches to rd.WriteTo: chunk-by-chunk, prefetch ahead.
+	_, _ = io.Copy(w, rd)
 }
 
 func (g *Gateway) deleteObject(w http.ResponseWriter, user, bucket, key string) {
@@ -400,7 +534,7 @@ func (g *Gateway) reclaim(blob uint64) {
 	pool := g.cluster.Pool()
 	for _, d := range descs {
 		for _, p := range d.Providers {
-			_ = pool.Remove(p, d.ID)
+			_ = pool.Remove(context.Background(), p, d.ID)
 		}
 	}
 }

@@ -313,3 +313,189 @@ func TestClientOptionsPassthrough(t *testing.T) {
 		t.Fatal("default-quorum put unexpectedly succeeded with a provider down")
 	}
 }
+
+// doRange issues a GET with a Range header.
+func doRange(t *testing.T, url, rng string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Range", rng)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestGetObjectRange(t *testing.T) {
+	_, srv := newGateway(t)
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	payload := bytes.Repeat([]byte("0123456789"), 100) // 1000 bytes
+	do(t, http.MethodPut, srv.URL+"/b/k", payload)
+
+	cases := []struct {
+		rng    string
+		wantLo int64
+		wantHi int64 // inclusive
+	}{
+		{"bytes=0-9", 0, 9},
+		{"bytes=100-299", 100, 299},
+		{"bytes=990-", 990, 999},
+		{"bytes=-25", 975, 999},
+		{"bytes=500-5000", 500, 999}, // end clamped to object size
+	}
+	for _, tc := range cases {
+		resp := doRange(t, srv.URL+"/b/k", tc.rng)
+		if resp.StatusCode != http.StatusPartialContent {
+			t.Fatalf("%s: status=%d", tc.rng, resp.StatusCode)
+		}
+		wantCR := fmt.Sprintf("bytes %d-%d/%d", tc.wantLo, tc.wantHi, len(payload))
+		if cr := resp.Header.Get("Content-Range"); cr != wantCR {
+			t.Fatalf("%s: Content-Range=%q want %q", tc.rng, cr, wantCR)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		if !bytes.Equal(got, payload[tc.wantLo:tc.wantHi+1]) {
+			t.Fatalf("%s: body mismatch (%d bytes)", tc.rng, len(got))
+		}
+	}
+
+	// Full GET advertises range support.
+	resp := do(t, http.MethodGet, srv.URL+"/b/k", nil)
+	if resp.Header.Get("Accept-Ranges") != "bytes" {
+		t.Fatal("Accept-Ranges missing")
+	}
+
+	// Unsatisfiable ranges → 416 with the star form.
+	for _, rng := range []string{"bytes=1000-", "bytes=2000-3000", "bytes=-0"} {
+		resp := doRange(t, srv.URL+"/b/k", rng)
+		if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+			t.Fatalf("%s: status=%d", rng, resp.StatusCode)
+		}
+		if cr := resp.Header.Get("Content-Range"); cr != fmt.Sprintf("bytes */%d", len(payload)) {
+			t.Fatalf("%s: Content-Range=%q", rng, cr)
+		}
+	}
+
+	// Malformed or multi-range headers are ignored: full 200 response.
+	for _, rng := range []string{"bytes=a-b", "chunks=0-5", "bytes=0-5,10-15"} {
+		resp := doRange(t, srv.URL+"/b/k", rng)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status=%d", rng, resp.StatusCode)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		if len(got) != len(payload) {
+			t.Fatalf("%s: body=%d bytes", rng, len(got))
+		}
+	}
+}
+
+// TestPutObjectTooLargeRejected verifies the EntityTooLarge path: a body
+// over the limit is rejected with 400 — not silently truncated — and
+// leaves neither an object entry nor a live blob behind.
+func TestPutObjectTooLargeRejected(t *testing.T) {
+	cluster, err := core.NewCluster(core.Options{Providers: 3, Monitoring: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(cluster, WithMaxObjectSize(1024))
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	// Declared size over the limit: rejected before any byte lands.
+	resp := do(t, http.MethodPut, srv.URL+"/b/big", bytes.Repeat([]byte("x"), 1025))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized put: status=%d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "EntityTooLarge") {
+		t.Fatalf("error code missing: %s", body)
+	}
+	// Chunked body with no declared length: detected while streaming.
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/b/big",
+		&slowBody{data: bytes.Repeat([]byte("x"), 1500), step: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = -1
+	chunked, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(chunked.Body)
+	chunked.Body.Close()
+	if chunked.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "EntityTooLarge") {
+		t.Fatalf("chunked oversized put: status=%d body=%s", chunked.StatusCode, body)
+	}
+	if resp := do(t, http.MethodGet, srv.URL+"/b/big", nil); resp.StatusCode != 404 {
+		t.Fatalf("truncated object stored: %d", resp.StatusCode)
+	}
+	if n := len(cluster.VM.Blobs()); n != 0 {
+		t.Fatalf("partial blob leaked: %d live blobs", n)
+	}
+
+	// Exactly at the limit is accepted whole.
+	exact := bytes.Repeat([]byte("y"), 1024)
+	if resp := do(t, http.MethodPut, srv.URL+"/b/ok", exact); resp.StatusCode != 200 {
+		t.Fatalf("exact-size put: %d", resp.StatusCode)
+	}
+	resp = do(t, http.MethodGet, srv.URL+"/b/ok", nil)
+	got, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(got, exact) {
+		t.Fatalf("exact-size object corrupted: %d bytes", len(got))
+	}
+}
+
+// slowBody trickles a payload a few bytes per Read with no Len/WriteTo,
+// so the gateway must consume it incrementally.
+type slowBody struct {
+	data []byte
+	step int
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if len(s.data) == 0 {
+		return 0, io.EOF
+	}
+	n := s.step
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(s.data) {
+		n = len(s.data)
+	}
+	copy(p, s.data[:n])
+	s.data = s.data[n:]
+	return n, nil
+}
+
+// TestPutStreamsIncrementalBody pushes a chunked, length-unknown body
+// through PUT and reads it back with a Range: the full streaming path in
+// both directions.
+func TestPutStreamsIncrementalBody(t *testing.T) {
+	_, srv := newGateway(t)
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	payload := bytes.Repeat([]byte("incremental-streaming-put"), 400) // 10 KB
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/b/k",
+		&slowBody{data: append([]byte(nil), payload...), step: 333})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = -1 // forces chunked transfer encoding
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("chunked put: %d", resp.StatusCode)
+	}
+	r := doRange(t, srv.URL+"/b/k", fmt.Sprintf("bytes=1000-%d", len(payload)-1))
+	got, _ := io.ReadAll(r.Body)
+	if !bytes.Equal(got, payload[1000:]) {
+		t.Fatalf("range after chunked put: %d bytes", len(got))
+	}
+}

@@ -5,6 +5,7 @@
 package selfopt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -18,14 +19,16 @@ import (
 	"blobseer/internal/vmanager"
 )
 
-// Pool is the replication manager's access to data providers.
+// Pool is the replication manager's access to data providers. All
+// transfers are context-first so maintenance passes can be cancelled
+// mid-flight.
 type Pool interface {
 	// Fetch reads a chunk replica from a provider.
-	Fetch(providerID string, id chunk.ID) ([]byte, error)
+	Fetch(ctx context.Context, providerID string, id chunk.ID) ([]byte, error)
 	// Store writes a chunk replica to a provider.
-	Store(providerID string, id chunk.ID, data []byte) error
+	Store(ctx context.Context, providerID string, id chunk.ID, data []byte) error
 	// Remove drops one reference of a chunk from a provider.
-	Remove(providerID string, id chunk.ID) error
+	Remove(ctx context.Context, providerID string, id chunk.ID) error
 	// Alive reports whether a provider is usable.
 	Alive(providerID string) bool
 }
@@ -172,7 +175,7 @@ func (r *Replicator) Scan(now time.Time) (RepairReport, error) {
 		}
 		writes := make(map[int64]chunk.Desc, len(fixes))
 		for _, f := range fixes {
-			nd, err := r.repairChunk(f.desc, target)
+			nd, err := r.repairChunk(context.Background(), f.desc, target)
 			if err != nil {
 				rep.Failed++
 				if firstErr == nil {
@@ -208,14 +211,14 @@ func (r *Replicator) Scan(now time.Time) (RepairReport, error) {
 }
 
 // repairChunk raises one chunk's live replica set to the target degree.
-func (r *Replicator) repairChunk(d chunk.Desc, target int) (chunk.Desc, error) {
+func (r *Replicator) repairChunk(ctx context.Context, d chunk.Desc, target int) (chunk.Desc, error) {
 	if len(d.Providers) == 0 {
 		return d, fmt.Errorf("selfopt: chunk %s: all replicas lost", d.ID.Short())
 	}
 	var data []byte
 	var err error
 	for _, p := range d.Providers {
-		data, err = r.pool.Fetch(p, d.ID)
+		data, err = r.pool.Fetch(ctx, p, d.ID)
 		if err == nil {
 			break
 		}
@@ -243,7 +246,7 @@ func (r *Replicator) repairChunk(d chunk.Desc, target int) (chunk.Desc, error) {
 		if have[cand] || !r.pool.Alive(cand) {
 			continue
 		}
-		if err := r.pool.Store(cand, d.ID, data); err != nil {
+		if err := r.pool.Store(ctx, cand, d.ID, data); err != nil {
 			continue
 		}
 		out.Providers = append(out.Providers, cand)
@@ -368,7 +371,7 @@ func (r *Reaper) Run(now time.Time) ([]uint64, error) {
 		for _, d := range descs {
 			for _, p := range d.Providers {
 				// Best effort: dead providers keep stale chunks.
-				_ = r.pool.Remove(p, d.ID)
+				_ = r.pool.Remove(context.Background(), p, d.ID)
 			}
 		}
 		removed = append(removed, blob)

@@ -1,6 +1,7 @@
 package selfopt
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -21,26 +22,26 @@ type testPool struct {
 	providers map[string]*provider.Provider
 }
 
-func (p *testPool) Fetch(id string, c chunk.ID) ([]byte, error) {
+func (p *testPool) Fetch(ctx context.Context, id string, c chunk.ID) ([]byte, error) {
 	prov, ok := p.providers[id]
 	if !ok {
 		return nil, fmt.Errorf("no provider %s", id)
 	}
-	return prov.Fetch("selfopt", c)
+	return prov.Fetch(ctx, "selfopt", c)
 }
-func (p *testPool) Store(id string, c chunk.ID, data []byte) error {
+func (p *testPool) Store(ctx context.Context, id string, c chunk.ID, data []byte) error {
 	prov, ok := p.providers[id]
 	if !ok {
 		return fmt.Errorf("no provider %s", id)
 	}
-	return prov.Store("selfopt", c, data)
+	return prov.Store(ctx, "selfopt", c, data)
 }
-func (p *testPool) Remove(id string, c chunk.ID) error {
+func (p *testPool) Remove(ctx context.Context, id string, c chunk.ID) error {
 	prov, ok := p.providers[id]
 	if !ok {
 		return fmt.Errorf("no provider %s", id)
 	}
-	return prov.Remove(c)
+	return prov.Remove(ctx, c)
 }
 func (p *testPool) Alive(id string) bool {
 	prov, ok := p.providers[id]
@@ -81,7 +82,7 @@ func (r *rig) writeBlob(t *testing.T, data []byte, replicas []string) uint64 {
 	}
 	id := chunk.Sum(data)
 	for _, p := range replicas {
-		if err := r.pool.Store(p, id, data); err != nil {
+		if err := r.pool.Store(context.Background(), p, id, data); err != nil {
 			t.Fatal(err)
 		}
 	}
