@@ -48,7 +48,13 @@ func (b *Blob) NewReader(ctx context.Context, version uint64, offset, length int
 	c := b.c
 	start := c.now()
 	if err := c.gate.Allow(ctx, c.user, instrument.OpRead); err != nil {
-		c.event(instrument.OpRead, b.info.ID, version, offset, length, err)
+		// The read-to-end sentinel must not leak into byte accounting as
+		// a negative volume.
+		evLen := length
+		if evLen < 0 {
+			evLen = 0
+		}
+		c.event(instrument.OpRead, b.info.ID, version, offset, evLen, err)
 		return nil, err
 	}
 	vm, err := c.resolveVersion(b.info.ID, version)
@@ -106,9 +112,10 @@ func (b *Blob) NewWriter(ctx context.Context, offset int64) (*BlobWriter, error)
 
 // chunkFuture is one in-flight (or completed) chunk fetch.
 type chunkFuture struct {
-	done chan struct{}
-	data []byte
-	err  error
+	done   chan struct{}
+	cancel context.CancelFunc // aborts this chunk's in-flight fetch
+	data   []byte
+	err    error
 }
 
 // BlobReader streams one version window. It implements
@@ -123,6 +130,7 @@ type BlobReader struct {
 	base      int64 // absolute offset of the window start
 	length    int64 // window length in bytes
 	pos       int64 // current position relative to base
+	served    int64 // bytes actually delivered to the consumer
 	loIdx     int64 // chunk index of descs[0]
 	descs     []chunk.Desc
 	window    int64
@@ -140,8 +148,10 @@ func (r *BlobReader) Version() uint64 { return r.version }
 func (r *BlobReader) Size() int64 { return r.length }
 
 // ensure launches fetches for the window [idx, idx+window) that are not
-// yet in flight, drops completed chunks behind idx, and returns idx's
-// future. Hole slots resolve immediately with nil data.
+// yet in flight, drops every future outside that window — behind idx and,
+// after a backward Seek, ahead of it — so the map never pins more than
+// window chunk buffers, and returns idx's future. Hole slots resolve
+// immediately with nil data.
 func (r *BlobReader) ensure(idx int64) *chunkFuture {
 	hi := r.loIdx + int64(len(r.descs)) // one past the last chunk
 	end := idx + r.window
@@ -152,20 +162,27 @@ func (r *BlobReader) ensure(idx int64) *chunkFuture {
 		if _, ok := r.futures[i]; ok {
 			continue
 		}
-		f := &chunkFuture{done: make(chan struct{})}
-		r.futures[i] = f
 		d := r.descs[i-r.loIdx]
 		if d.ID.IsZero() {
+			f := &chunkFuture{done: make(chan struct{}), cancel: func() {}}
 			close(f.done) // hole: zeros
+			r.futures[i] = f
 			continue
 		}
+		fctx, fcancel := context.WithCancel(r.ctx)
+		f := &chunkFuture{done: make(chan struct{}), cancel: fcancel}
+		r.futures[i] = f
 		go func(d chunk.Desc, f *chunkFuture) {
-			f.data, f.err = r.c.fetchReplica(r.ctx, d)
+			defer fcancel()
+			f.data, f.err = r.c.fetchReplica(fctx, d)
 			close(f.done)
 		}(d, f)
 	}
-	for i := range r.futures {
-		if i < idx {
+	for i, f := range r.futures {
+		if i < idx || i >= idx+r.window {
+			// An evicted future may still be mid-fetch: abort it so the
+			// prefetch window bounds in-flight transfers, not just the map.
+			f.cancel()
 			delete(r.futures, i)
 		}
 	}
@@ -223,10 +240,9 @@ func (r *BlobReader) Read(p []byte) (int, error) {
 	if int64(len(fut.data)) > abs-slotLo {
 		n0 = copy(seg, fut.data[abs-slotLo:])
 	}
-	for i := range seg[n0:] {
-		seg[n0+i] = 0
-	}
+	clear(seg[n0:])
 	r.pos += n
+	r.served += n
 	return int(n), nil
 }
 
@@ -263,6 +279,7 @@ func (r *BlobReader) WriteTo(w io.Writer) (int64, error) {
 			n, werr := w.Write(fut.data[abs-slotLo : hi-slotLo])
 			total += int64(n)
 			r.pos += int64(n)
+			r.served += int64(n)
 			if werr != nil {
 				return total, werr
 			}
@@ -272,6 +289,7 @@ func (r *BlobReader) WriteTo(w io.Writer) (int64, error) {
 			n, werr := w.Write(r.zeroBuf(end - abs))
 			total += int64(n)
 			r.pos += int64(n)
+			r.served += int64(n)
 			if werr != nil {
 				return total, werr
 			}
@@ -329,10 +347,13 @@ func (r *BlobReader) Close() error {
 	r.closed = true
 	r.cancel()
 	now := r.c.now()
+	// Report the bytes actually delivered, not the window size or seek
+	// position: an aborted or sparsely-consumed stream must not inflate
+	// the traffic accounting the policy layer consumes.
 	ev := instrument.Event{
 		Time: now, Actor: instrument.ActorClient, Node: r.c.user, User: r.c.user,
 		Op: instrument.OpRead, Blob: r.blob, Version: r.version,
-		Offset: r.base, Bytes: r.length, Dur: now.Sub(r.started),
+		Offset: r.base, Bytes: r.served, Dur: now.Sub(r.started),
 	}
 	if r.err != nil {
 		ev.Err = r.err.Error()
@@ -357,14 +378,19 @@ type BlobWriter struct {
 	tk        *vmanager.Ticket // pre-assigned ticket (appends); nil = assigned at Close
 	started   time.Time
 
-	cur      []byte // buffered bytes of the current slot; cap ends at the slot boundary
-	curStart int64  // absolute offset of cur[0]
-	total    int64  // bytes accepted so far
+	cur        []byte               // buffered bytes of the current slot; cap ends at the slot boundary
+	curStart   int64                // absolute offset of cur[0]
+	total      int64                // bytes accepted so far
+	placements [][]string           // batch-allocated replica sets for upcoming slots
+	nextBatch  int                  // next placement-batch size (1, doubling to workers)
+	base       vmanager.VersionMeta // version snapshot partial slots merge against
 
-	wg sync.WaitGroup
+	sem chan struct{} // WithWorkers-sized tokens bounding in-flight flushes
+	wg  sync.WaitGroup
 
 	mu      sync.Mutex
 	writes  map[int64]chunk.Desc
+	orphans []chunk.Desc // replicas stored by slots that then failed quorum
 	err     error
 	closed  bool
 	version uint64
@@ -372,12 +398,22 @@ type BlobWriter struct {
 
 func (c *Client) newWriter(ctx context.Context, blob uint64, chunkSize, offset int64, op instrument.Op, tk *vmanager.Ticket, start time.Time) *BlobWriter {
 	wctx, cancel := context.WithCancel(ctx)
-	return &BlobWriter{
+	w := &BlobWriter{
 		c: c, ctx: wctx, cancel: cancel,
 		blob: blob, chunkSize: chunkSize, off: offset, curStart: offset,
 		op: op, tk: tk, started: start,
+		sem:    make(chan struct{}, c.workers),
 		writes: make(map[int64]chunk.Desc),
 	}
+	// One base snapshot for the whole write: every partial edge slot
+	// merges against the same published version, so a concurrent writer
+	// publishing mid-stream cannot split this write across two bases.
+	base, err := c.vm.Latest(blob)
+	if err != nil {
+		w.err = err
+	}
+	w.base = base
+	return w
 }
 
 // Version returns the published version; valid after a successful Close.
@@ -385,6 +421,23 @@ func (w *BlobWriter) Version() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.version
+}
+
+// StoredChunks returns the descriptors of every chunk replica flushed to
+// providers so far — fully stored slots and the partial replica sets of
+// slots that failed their write quorum. After a failed or cancelled
+// Close no published version references them — the version manager never
+// learned they exist — so callers with provider access (e.g. the S3
+// gateway) use this to reclaim the orphaned replicas.
+func (w *BlobWriter) StoredChunks() []chunk.Desc {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]chunk.Desc, 0, len(w.writes)+len(w.orphans))
+	for _, d := range w.writes {
+		out = append(out, d)
+	}
+	out = append(out, w.orphans...)
+	return out
 }
 
 // writable reports the sticky stream state: closed, a failed background
@@ -430,6 +483,12 @@ func (w *BlobWriter) Write(p []byte) (int, error) {
 		w.total += int64(take)
 		if len(w.cur) == cap(w.cur) {
 			w.flushCur()
+			// flushCur may have blocked on the worker semaphore: surface a
+			// cancellation or flush failure now instead of consuming the
+			// rest of the stream into dropped slots.
+			if err := w.writable(); err != nil {
+				return n, err
+			}
 		}
 	}
 	return n, nil
@@ -452,6 +511,12 @@ func (w *BlobWriter) ReadFrom(r io.Reader) (int64, error) {
 			total += int64(n)
 			if len(w.cur) == cap(w.cur) {
 				w.flushCur()
+				// Surface a cancellation or flush failure even when this
+				// Read also returned io.EOF: a slot dropped by flushCur
+				// must not report clean success.
+				if werr := w.writable(); werr != nil {
+					return total, werr
+				}
 			}
 		}
 		if err == io.EOF {
@@ -463,9 +528,42 @@ func (w *BlobWriter) ReadFrom(r io.Reader) (int64, error) {
 	}
 }
 
+// nextPlacement pops one replica set for the next slot, refilling the
+// buffer in geometrically growing batches (1 row, doubling up to
+// WithWorkers): batch-aware strategies (LeastUsed, ZoneAware) spread the
+// chunks of one allocation across the cluster, so per-slot single
+// allocations would concentrate a whole streamed write on one replica
+// set — while starting at one row keeps single-slot writes from
+// allocating (and discarding) workers' worth of placements.
+func (w *BlobWriter) nextPlacement() ([]string, error) {
+	if len(w.placements) == 0 {
+		if w.nextBatch < 1 {
+			w.nextBatch = 1
+		}
+		rows, err := w.c.pm.Allocate(w.nextBatch, w.c.replicas)
+		if err != nil {
+			return nil, err
+		}
+		w.placements = rows
+		if w.nextBatch < w.c.workers {
+			w.nextBatch *= 2
+			if w.nextBatch > w.c.workers {
+				w.nextBatch = w.c.workers
+			}
+		}
+	}
+	row := w.placements[0]
+	w.placements = w.placements[1:]
+	return row, nil
+}
+
 // flushCur hands the buffered slot to a background store and starts a
-// fresh slot at the next boundary. The first failure is sticky and
-// cancels the writer context, aborting sibling transfers.
+// fresh slot at the next boundary. In-flight stores are bounded by the
+// WithWorkers semaphore: when the pipeline is full, flushCur (and so
+// Write/ReadFrom) blocks until a slot frees, keeping buffered memory at
+// workers × chunk size no matter how fast the producer is. The first
+// failure is sticky and cancels the writer context, aborting sibling
+// transfers.
 func (w *BlobWriter) flushCur() {
 	data := w.cur
 	start := w.curStart
@@ -474,13 +572,36 @@ func (w *BlobWriter) flushCur() {
 	if len(data) == 0 {
 		return
 	}
+	targets, err := w.nextPlacement()
+	if err != nil {
+		w.mu.Lock()
+		if w.err == nil {
+			w.err = err
+			w.cancel()
+		}
+		w.mu.Unlock()
+		return
+	}
+	select {
+	case w.sem <- struct{}{}:
+	case <-w.ctx.Done():
+		// Cancelled: the slot is dropped; Close sees ctx.Err() and never
+		// publishes, so no version can reference the missing chunk.
+		return
+	}
 	w.wg.Add(1)
 	go func() {
 		defer w.wg.Done()
-		idx, desc, err := w.c.storeSlot(w.ctx, w.blob, w.chunkSize, start, data)
+		defer func() { <-w.sem }()
+		idx, desc, err := w.c.storeSlot(w.ctx, w.blob, w.chunkSize, start, data, targets, w.base)
 		w.mu.Lock()
 		defer w.mu.Unlock()
 		if err != nil {
+			// A quorum failure may still have landed some replicas; keep
+			// their desc so StoredChunks can hand them to reclamation.
+			if len(desc.Providers) > 0 {
+				w.orphans = append(w.orphans, desc)
+			}
 			if w.err == nil {
 				w.err = err
 				w.cancel()

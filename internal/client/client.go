@@ -201,7 +201,12 @@ func (c *Client) CreateContext(ctx context.Context, chunkSize int64) (vmanager.B
 // CreateTemporary makes a BLOB flagged for the temporary-data removal
 // strategy.
 func (c *Client) CreateTemporary(chunkSize int64) (vmanager.BlobInfo, error) {
-	if err := c.gate.Allow(context.Background(), c.user, instrument.OpCreate); err != nil {
+	return c.CreateTemporaryContext(context.Background(), chunkSize)
+}
+
+// CreateTemporaryContext is CreateTemporary with an admission context.
+func (c *Client) CreateTemporaryContext(ctx context.Context, chunkSize int64) (vmanager.BlobInfo, error) {
+	if err := c.gate.Allow(ctx, c.user, instrument.OpCreate); err != nil {
 		return vmanager.BlobInfo{}, err
 	}
 	info, err := c.vm.Create(c.user, chunkSize, true)
@@ -232,14 +237,22 @@ func (c *Client) Write(blob uint64, offset int64, data []byte) (uint64, error) {
 // WriteContext is Write with cancellation: a cancelled ctx aborts
 // in-flight chunk transfers and leaves the BLOB unpublished.
 func (c *Client) WriteContext(ctx context.Context, blob uint64, offset int64, data []byte) (uint64, error) {
+	start := c.now()
+	// Admission is checked here, not via Blob.NewWriter, so a denial
+	// event carries the attempted byte volume — byte-rate policy rules
+	// must keep seeing the pressure of blocked writers.
+	if err := c.gate.Allow(ctx, c.user, instrument.OpWrite); err != nil {
+		c.event(instrument.OpWrite, blob, 0, offset, int64(len(data)), err)
+		return 0, err
+	}
+	if offset < 0 {
+		return 0, fmt.Errorf("client: negative offset %d", offset)
+	}
 	b, err := c.Open(ctx, blob)
 	if err != nil {
 		return 0, err
 	}
-	w, err := b.NewWriter(ctx, offset)
-	if err != nil {
-		return 0, err
-	}
+	w := c.newWriter(ctx, blob, b.info.ChunkSize, offset, instrument.OpWrite, nil, start)
 	if _, werr := w.Write(data); werr != nil {
 		_ = w.Close()
 		return 0, werr
@@ -339,7 +352,9 @@ func (c *Client) resolveVersion(blob, version uint64) (vmanager.VersionMeta, err
 // and returns the providers that accepted it, in placement order
 // (primary first). It fails when fewer than the write quorum landed,
 // wrapping the per-replica causes — lookup failures included — so a
-// fully failed chunk reports why.
+// fully failed chunk reports why. Even on failure the providers that did
+// accept the chunk are returned, so callers can reclaim the stranded
+// replicas.
 func (c *Client) storeReplicas(ctx context.Context, id chunk.ID, data []byte, targets []string) ([]string, error) {
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
@@ -369,71 +384,75 @@ func (c *Client) storeReplicas(ctx context.Context, id chunk.ID, data []byte, ta
 		need = len(targets)
 	}
 	if len(stored) < need {
-		return nil, fmt.Errorf("%w: %d/%d replicas stored, quorum %d: %w",
+		return stored, fmt.Errorf("%w: %d/%d replicas stored, quorum %d: %w",
 			ErrNoReplica, len(stored), len(targets), need, errors.Join(errs...))
 	}
 	return stored, nil
 }
 
 // storeSlot stores the chunk slot beginning at absolute byte offset
-// start. Partial slots (a head slot entered mid-way, or a tail slot that
-// does not reach the slot end) are first merged over the slot's current
-// content from the latest published version, so the stored chunk always
-// begins at its slot base. Returns the slot index and the published
-// descriptor.
-func (c *Client) storeSlot(ctx context.Context, blob uint64, chunkSize, start int64, data []byte) (int64, chunk.Desc, error) {
+// start onto the given placement targets. Partial slots (a head slot
+// entered mid-way, or a tail slot that does not reach the slot end) are
+// first merged over the slot's current content from the latest published
+// version, so the stored chunk always begins at its slot base. Returns
+// the slot index and the published descriptor. baseVer is the version
+// snapshot partial slots merge against — one snapshot per write, so the
+// write's edge slots cannot mix two different bases.
+func (c *Client) storeSlot(ctx context.Context, blob uint64, chunkSize, start int64, data []byte, targets []string, baseVer vmanager.VersionMeta) (int64, chunk.Desc, error) {
 	idx := start / chunkSize
 	slotLo, _ := chunk.SlotRange(idx, chunkSize)
 	within := start - slotLo
 	if within != 0 || int64(len(data)) != chunkSize {
-		base, err := c.baseSlot(ctx, blob, chunkSize, idx)
+		base, err := c.baseSlot(ctx, blob, chunkSize, idx, baseVer)
 		if err != nil {
 			return 0, chunk.Desc{}, fmt.Errorf("chunk %d: %w", idx, err)
 		}
-		buf := make([]byte, chunkSize)
-		copy(buf, base)
-		copy(buf[within:], data)
-		valid := within + int64(len(data))
-		if int64(len(base)) > valid {
-			valid = int64(len(base))
+		// A tail slot with no base content already starts at its slot
+		// base — store it as-is, no merge copy needed.
+		if within != 0 || len(base) != 0 {
+			valid := within + int64(len(data))
+			if int64(len(base)) > valid {
+				valid = int64(len(base))
+			}
+			// valid ≤ chunkSize always; size the merge buffer to the
+			// content, not the chunk — a small object must not allocate a
+			// whole slot.
+			buf := make([]byte, valid)
+			copy(buf, base)
+			copy(buf[within:], data)
+			data = buf
 		}
-		data = buf[:valid]
 	}
 	id := chunk.Sum(data)
-	placement, err := c.pm.Allocate(1, c.replicas)
+	stored, err := c.storeReplicas(ctx, id, data, targets)
 	if err != nil {
-		return 0, chunk.Desc{}, fmt.Errorf("chunk %d: %w", idx, err)
-	}
-	stored, err := c.storeReplicas(ctx, id, data, placement[0])
-	if err != nil {
-		return 0, chunk.Desc{}, fmt.Errorf("chunk %d: %w", idx, err)
+		// Report the replicas that did land so the writer can track them
+		// for reclamation: a failed slot never publishes, so nothing else
+		// will ever reference — or free — them.
+		return 0, chunk.Desc{ID: id, Size: int64(len(data)), Providers: stored}, fmt.Errorf("chunk %d: %w", idx, err)
 	}
 	return idx, chunk.Desc{ID: id, Size: int64(len(data)), Providers: stored}, nil
 }
 
-// baseSlot reads the current content of one chunk slot from the latest
-// published version: nil when the version ends before the slot or no
+// baseSlot reads the current content of one chunk slot from the given
+// version snapshot: nil when the version ends before the slot or no
 // version exists, otherwise the slot's existing bytes (shorter than the
 // chunk size at the BLOB's tail).
-func (c *Client) baseSlot(ctx context.Context, blob uint64, chunkSize, idx int64) ([]byte, error) {
-	latest, err := c.vm.Latest(blob)
-	if err != nil {
-		return nil, err
-	}
+func (c *Client) baseSlot(ctx context.Context, blob uint64, chunkSize, idx int64, base vmanager.VersionMeta) ([]byte, error) {
 	slotLo, _ := chunk.SlotRange(idx, chunkSize)
-	if latest.Version == 0 || slotLo >= latest.Size {
+	if base.Version == 0 || slotLo >= base.Size {
 		return nil, nil
 	}
 	baseLen := chunkSize
-	if latest.Size-slotLo < baseLen {
-		baseLen = latest.Size - slotLo
+	if base.Size-slotLo < baseLen {
+		baseLen = base.Size - slotLo
 	}
 	buf := make([]byte, baseLen)
 	tree, err := c.vm.Tree(blob)
 	if err != nil {
 		return nil, err
 	}
-	descs, err := tree.Read(latest.Version, idx, idx+1)
+	descs, err := tree.Read(base.Version, idx, idx+1)
 	if err != nil {
 		return nil, err
 	}

@@ -4,13 +4,19 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"blobseer/internal/blobmeta"
 	"blobseer/internal/chunk"
+	"blobseer/internal/instrument"
+	"blobseer/internal/pmanager"
+	"blobseer/internal/provider"
+	"blobseer/internal/vmanager"
 )
 
 // plainReader hides bytes.Reader's WriterTo so io.Copy exercises the
@@ -394,6 +400,388 @@ func TestStreamReadMatchesBufferedAcrossShapes(t *testing.T) {
 	// panic in make([]byte, -1)).
 	if _, err := c.Read(info.ID, 0, 0, -1); !errors.Is(err, ErrShortRead) {
 		t.Fatalf("negative length: %v", err)
+	}
+}
+
+// TestWriterFlushesBoundedByWorkers parks every replica store and pushes
+// many chunk slots through a WithWorkers(2) writer: at most two stores
+// may ever be in flight, and the producer must block on the full
+// pipeline instead of accumulating goroutines and slot buffers.
+func TestWriterFlushesBoundedByWorkers(t *testing.T) {
+	b := newBed(t, 2)
+	var blocked atomic.Int64
+	dir := DirectoryFunc(func(ctx context.Context, id string) (Conn, error) {
+		conn, err := b.Lookup(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		return blockingConn{inner: conn, blocked: &blocked}, nil
+	})
+	c := New("alice", b.vm, b.pm, dir, WithWorkers(2))
+	info, err := c.Create(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	blob, err := c.Open(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := blob.NewWriter(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, werr := w.Write(bytes.Repeat([]byte("q"), 12*8)) // 12 full slots
+		done <- werr
+	}()
+	waitFor(t, "two stores to park", func() bool { return blocked.Load() == 2 })
+	// Pipeline full: the producer must stay blocked, no third store.
+	time.Sleep(50 * time.Millisecond)
+	if n := blocked.Load(); n != 2 {
+		t.Fatalf("in-flight stores=%d, want 2 (the WithWorkers bound)", n)
+	}
+	select {
+	case werr := <-done:
+		t.Fatalf("Write returned (%v) while the flush pipeline was full", werr)
+	default:
+	}
+	cancel()
+	if werr := <-done; !errors.Is(werr, context.Canceled) {
+		t.Fatalf("cancelled Write: %v", werr)
+	}
+	if err := w.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close after cancel: %v", err)
+	}
+	waitFor(t, "parked stores to unblock", func() bool { return blocked.Load() == 0 })
+}
+
+// TestSeekBackwardPrunesPrefetch rewinds a reader after the prefetch
+// window filled at a high position: the future map must shrink back to
+// the window, not pin the high-index chunk buffers until Close.
+func TestSeekBackwardPrunesPrefetch(t *testing.T) {
+	b := newBed(t, 4)
+	c := b.client("alice", WithPrefetch(2))
+	ctx := context.Background()
+	info, _ := c.Create(8)
+	payload := bytes.Repeat([]byte("01234567"), 6) // 6 chunks
+	if _, err := c.Write(info.ID, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := c.Open(ctx, info.ID)
+	r, err := blob.NewReader(ctx, 0, 0, int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	one := make([]byte, 1)
+	if _, err := r.Seek(40, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(one); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(one); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.futures) > 2 {
+		t.Fatalf("futures=%d after rewind, want ≤ prefetch window 2", len(r.futures))
+	}
+	for i := range r.futures {
+		if i >= 2 {
+			t.Fatalf("future for chunk %d pinned outside window [0,2)", i)
+		}
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil || one[0] != payload[0] || !bytes.Equal(rest, payload[1:]) {
+		t.Fatalf("rewound read mismatch: %d bytes err=%v", len(rest), err)
+	}
+}
+
+// TestStoredChunksAfterAbortedClose cancels a writer after its slots
+// flushed: Close must not publish, and StoredChunks must surface the
+// flushed descriptors so callers can reclaim the orphaned replicas.
+func TestStoredChunksAfterAbortedClose(t *testing.T) {
+	b := newBed(t, 2)
+	c := b.client("alice")
+	info, _ := c.Create(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	blob, _ := c.Open(ctx, info.ID)
+	w, err := blob.NewWriter(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(bytes.Repeat([]byte("d"), 3*8)); err != nil { // three full slots
+		t.Fatal(err)
+	}
+	// Let the background flushes land before aborting.
+	waitFor(t, "slots to flush", func() bool { return len(w.StoredChunks()) == 3 })
+	cancel()
+	if err := w.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("aborted Close: %v", err)
+	}
+	descs := w.StoredChunks()
+	if len(descs) != 3 {
+		t.Fatalf("stored descs=%d, want 3", len(descs))
+	}
+	for _, d := range descs {
+		if d.ID.IsZero() || len(d.Providers) == 0 {
+			t.Fatalf("malformed desc %+v", d)
+		}
+	}
+}
+
+// failStoreConn rejects every Store and passes Fetch through.
+type failStoreConn struct{ inner Conn }
+
+func (c failStoreConn) Store(context.Context, string, chunk.ID, []byte) error {
+	return errors.New("disk full")
+}
+
+func (c failStoreConn) Fetch(ctx context.Context, user string, id chunk.ID) ([]byte, error) {
+	return c.inner.Fetch(ctx, user, id)
+}
+
+// TestStoredChunksIncludeQuorumOrphans fails one of three replicas so the
+// slot misses its (default: all) write quorum: the two replicas that did
+// land are unreferenced by any version, and StoredChunks must surface
+// them for reclamation.
+func TestStoredChunksIncludeQuorumOrphans(t *testing.T) {
+	b := newBed(t, 3)
+	dir := DirectoryFunc(func(ctx context.Context, id string) (Conn, error) {
+		conn, err := b.Lookup(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if id == "p02" {
+			return failStoreConn{inner: conn}, nil
+		}
+		return conn, nil
+	})
+	c := New("alice", b.vm, b.pm, dir, WithReplicas(3))
+	info, err := c.Create(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	blob, _ := c.Open(ctx, info.ID)
+	w, err := blob.NewWriter(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = w.Write([]byte("12345678")) // one full slot; its flush fails quorum
+	if err := w.Close(); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("Close: %v", err)
+	}
+	descs := w.StoredChunks()
+	if len(descs) != 1 {
+		t.Fatalf("stored descs=%d, want the quorum-failed slot's orphans", len(descs))
+	}
+	if n := len(descs[0].Providers); n != 2 {
+		t.Fatalf("orphan replicas=%d, want 2 (the stores that landed)", n)
+	}
+	for _, p := range descs[0].Providers {
+		if p == "p02" {
+			t.Fatal("failed provider listed as holding a replica")
+		}
+	}
+}
+
+// cancelOnFinalRead feeds two chunk slots and cancels the writer context
+// during the Read that also returns io.EOF — the final slot is dropped
+// by flushCur, and ReadFrom must report the loss, not clean success.
+type cancelOnFinalRead struct {
+	cancel context.CancelFunc
+	reads  int
+}
+
+func (r *cancelOnFinalRead) Read(p []byte) (int, error) {
+	r.reads++
+	for i := range p {
+		p[i] = 'e'
+	}
+	switch r.reads {
+	case 1:
+		return len(p), nil
+	default:
+		r.cancel()
+		return len(p), io.EOF
+	}
+}
+
+func TestReadFromReportsDroppedFinalSlot(t *testing.T) {
+	b := newBed(t, 2)
+	c := b.client("alice")
+	info, _ := c.Create(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	blob, _ := c.Open(ctx, info.ID)
+	w, err := blob.NewWriter(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.ReadFrom(&cancelOnFinalRead{cancel: cancel})
+	if err == nil {
+		t.Fatalf("ReadFrom returned clean success (n=%d) after its final slot was dropped", n)
+	}
+	if cerr := w.Close(); cerr == nil {
+		t.Fatal("Close published after a cancelled stream")
+	}
+}
+
+// TestStreamWritePlacementSpreads runs a streamed write through a
+// LeastUsed provider manager: placements must come from batch
+// allocations, so the object's chunks spread across the cluster instead
+// of every per-slot Allocate(1) re-picking the same "least used" target.
+func TestStreamWritePlacementSpreads(t *testing.T) {
+	b := &bed{
+		vm: vmanager.New(blobmeta.NewMemStore("m1", nil, nil), vmanager.WithSpan(1<<20)),
+		pm: pmanager.New(pmanager.WithTTL(0),
+			pmanager.WithStrategy(pmanager.LeastUsed{})),
+		providers: map[string]*provider.Provider{},
+	}
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("p%02d", i)
+		b.providers[id] = provider.New(id, "z0", 0)
+		if err := b.pm.Register(pmanager.Info{ID: id, Zone: "z0"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := b.client("alice")
+	info, err := c.Create(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	blob, _ := c.Open(ctx, info.ID)
+	w, err := blob.NewWriter(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(bytes.Repeat([]byte("spread!!"), 8)); err != nil { // 8 full slots
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	used := map[string]bool{}
+	for _, d := range w.StoredChunks() {
+		for _, p := range d.Providers {
+			used[p] = true
+		}
+	}
+	if len(used) < 2 {
+		t.Fatalf("8 streamed chunks all landed on %d provider(s) — per-slot allocation defeats LeastUsed spreading", len(used))
+	}
+}
+
+// TestSeekEvictionCancelsInFlightFetches parks every fetch, fills the
+// prefetch window at a high index, then seeks the window back to zero:
+// the evicted futures' fetches must be cancelled promptly, so in-flight
+// transfers — not just map entries — stay bounded by the window.
+func TestSeekEvictionCancelsInFlightFetches(t *testing.T) {
+	b := newBed(t, 4)
+	writer := b.client("alice")
+	info, _ := writer.Create(8)
+	if _, err := writer.Write(info.ID, 0, bytes.Repeat([]byte("w"), 48)); err != nil {
+		t.Fatal(err)
+	}
+	var blocked atomic.Int64
+	dir := DirectoryFunc(func(ctx context.Context, id string) (Conn, error) {
+		conn, err := b.Lookup(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		return blockingConn{inner: conn, blocked: &blocked}, nil
+	})
+	c := New("alice", b.vm, b.pm, dir, WithPrefetch(2))
+	ctx := context.Background()
+	blob, _ := c.Open(ctx, info.ID)
+	r, err := blob.NewReader(ctx, 0, 0, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	f4 := r.ensure(4) // parks fetches for chunks 4 and 5
+	f5 := r.futures[5]
+	waitFor(t, "window fetches to park", func() bool { return blocked.Load() == 2 })
+	r.ensure(0) // window moves to [0,2): 4 and 5 evicted, 0 and 1 launched
+	for _, f := range []*chunkFuture{f4, f5} {
+		select {
+		case <-f.done:
+			if !errors.Is(f.err, context.Canceled) {
+				t.Fatalf("evicted fetch finished with %v, want context.Canceled", f.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("evicted in-flight fetch was not cancelled")
+		}
+	}
+	if len(r.futures) != 2 {
+		t.Fatalf("futures=%d after window move, want 2", len(r.futures))
+	}
+	waitFor(t, "new window fetches to park", func() bool { return blocked.Load() == 2 })
+}
+
+// ctxGate admits only live contexts — the shape of policy.Enforcer's
+// cancelled-request check.
+type ctxGate struct{}
+
+func (ctxGate) Allow(ctx context.Context, _ string, _ instrument.Op) error {
+	return ctx.Err()
+}
+
+func TestCreateTemporaryContextCancelled(t *testing.T) {
+	b := newBed(t, 2)
+	c := New("alice", b.vm, b.pm, b, WithGatekeeper(ctxGate{}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.CreateTemporaryContext(ctx, 8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled CreateTemporaryContext: %v", err)
+	}
+	if _, err := c.CreateTemporary(8); err != nil { // background ctx still admits
+		t.Fatal(err)
+	}
+}
+
+// TestWriterMergesAgainstCreationSnapshot opens a writer over version 1,
+// lets a concurrent writer publish version 2 mid-stream, then streams an
+// unaligned write: both partial edge slots must merge against the same
+// version-1 snapshot taken at NewWriter, not whatever is latest at each
+// flush.
+func TestWriterMergesAgainstCreationSnapshot(t *testing.T) {
+	b := newBed(t, 4)
+	c := b.client("alice")
+	info, _ := c.Create(8)
+	if _, err := c.Write(info.ID, 0, []byte("AAAAAAAABBBBBBBB")); err != nil { // v1
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	blob, _ := c.Open(ctx, info.ID)
+	w, err := blob.NewWriter(ctx, 3) // snapshots v1 as the merge base
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(info.ID, 0, []byte("CCCCCCCCDDDDDDDD")); err != nil { // v2
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("111112222222")); err != nil { // [3,15): both edges partial
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(info.ID, w.Version(), 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("AAA111112222222B") // edges from v1, never v2's C/D bytes
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged content %q, want %q", got, want)
 	}
 }
 

@@ -316,6 +316,12 @@ func (c *Cluster) Heal(now time.Time) (selfopt.RepairReport, error) {
 	return c.Rep.Scan(now)
 }
 
+// HealContext is Heal with cancellation: a cancelled ctx aborts the scan
+// between BLOBs and stops in-flight repair transfers.
+func (c *Cluster) HealContext(ctx context.Context, now time.Time) (selfopt.RepairReport, error) {
+	return c.Rep.ScanContext(ctx, now)
+}
+
 // poolAdapter exposes the cluster's providers as a selfopt.Pool.
 type poolAdapter struct{ c *Cluster }
 

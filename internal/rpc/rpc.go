@@ -137,11 +137,18 @@ type Conn struct {
 
 // Dial connects to a provider server.
 func Dial(addr string) (*Conn, error) {
-	c, err := rpc.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a provider server, honouring ctx cancellation
+// and deadline during TCP establishment.
+func DialContext(ctx context.Context, addr string) (*Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	return &Conn{c: c}, nil
+	return &Conn{c: rpc.NewClient(nc)}, nil
 }
 
 // call issues an async rpc call and waits for either its completion or
@@ -224,19 +231,38 @@ func (d *Directory) Lookup(ctx context.Context, id string) (client.Conn, error) 
 		return nil, err
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if c, ok := d.conns[id]; ok {
+		d.mu.Unlock()
 		return c, nil
 	}
 	addr, ok := d.addrs[id]
+	d.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("rpc: unknown provider %q", id)
 	}
-	c, err := Dial(addr)
+	// Dial outside the lock with the caller's ctx: a blackholed provider
+	// must not stall lookups of healthy ones for the OS connect timeout,
+	// and cancelling the caller aborts the connection attempt.
+	c, err := DialContext(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
+	d.mu.Lock()
+	if cached, ok := d.conns[id]; ok {
+		// Lost a concurrent dial race; keep the first cached conn.
+		d.mu.Unlock()
+		_ = c.Close()
+		return cached, nil
+	}
+	if cur, ok := d.addrs[id]; !ok || cur != addr {
+		// Re-registered (or removed) while dialing: the conn points at a
+		// stale address — drop it and resolve afresh.
+		d.mu.Unlock()
+		_ = c.Close()
+		return d.Lookup(ctx, id)
+	}
 	d.conns[id] = c
+	d.mu.Unlock()
 	return c, nil
 }
 

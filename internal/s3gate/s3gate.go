@@ -23,8 +23,10 @@ import (
 	"crypto/sha256"
 	"encoding/base64"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -32,9 +34,11 @@ import (
 	"sync"
 	"time"
 
+	"blobseer/internal/chunk"
 	"blobseer/internal/client"
 	"blobseer/internal/core"
 	"blobseer/internal/instrument"
+	"blobseer/internal/policy"
 )
 
 // MaxObjectSize is the default bound on a single PUT (64 MiB chunks ×
@@ -56,6 +60,7 @@ type Gateway struct {
 	now     func() time.Time
 	clOpts  []client.Option
 	maxObj  int64
+	chunkSz int64
 
 	mu      sync.Mutex
 	keys    map[string]string // accessKey → secret (nil = auth disabled)
@@ -107,6 +112,17 @@ func WithMaxObjectSize(n int64) Option {
 	return func(g *Gateway) {
 		if n > 0 {
 			g.maxObj = n
+		}
+	}
+}
+
+// WithChunkSize sets the chunk size of the BLOBs the gateway creates on
+// PUT (default: the cluster-wide chunk.DefaultSize). Smaller chunks make
+// streaming uploads flush — and replicate — earlier.
+func WithChunkSize(n int64) Option {
+	return func(g *Gateway) {
+		if n > 0 {
+			g.chunkSz = n
 		}
 	}
 }
@@ -200,6 +216,17 @@ func writeErr(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/xml")
 	w.WriteHeader(status)
 	_ = xml.NewEncoder(w).Encode(errorResult{Code: code, Message: msg})
+}
+
+// writeOpErr classifies a data-path failure: security denials are the
+// caller's fault (403, non-retryable), anything else is a backend fault
+// (500, retryable).
+func writeOpErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, policy.ErrBlocked) || errors.Is(err, client.ErrBlocked) {
+		writeErr(w, http.StatusForbidden, "AccessDenied", err.Error())
+	} else {
+		writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -339,9 +366,9 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	cl := g.clientFor(user)
-	info, err := cl.CreateContext(ctx, 0)
+	info, err := cl.CreateContext(ctx, g.chunkSz)
 	if err != nil {
-		writeErr(w, http.StatusForbidden, "AccessDenied", err.Error())
+		writeOpErr(w, err)
 		return
 	}
 	blob, err := cl.Open(ctx, info.ID)
@@ -351,24 +378,43 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket
 	}
 	bw, err := blob.NewWriter(ctx, 0)
 	if err != nil {
-		writeErr(w, http.StatusForbidden, "AccessDenied", err.Error())
+		writeOpErr(w, err)
+		g.reclaim(info.ID)
 		return
 	}
 	// abandon aborts the stream (cancel keeps Close from publishing a
 	// version that would immediately be reclaimed) and drops the blob.
+	// Chunks already flushed by the writer were never published, so
+	// VM.Delete inside reclaim cannot see them — they are removed from
+	// their providers via the writer's own descriptors.
 	abandon := func() {
 		cancel()
 		_ = bw.Close()
+		g.reclaimDescs(bw.StoredChunks())
 		g.reclaim(info.ID)
 	}
 	// Reading one byte past the limit distinguishes an oversized body
-	// from one that is exactly the limit, without buffering either.
+	// from one that is exactly the limit, without buffering either. At
+	// MaxInt64 the +1 probe would overflow to a negative limit (reading
+	// nothing); without it the size check simply can never trip.
+	limit := g.maxObj
+	if limit < math.MaxInt64 {
+		limit++
+	}
 	hash := sha256.New()
-	n, err := io.Copy(bw, io.TeeReader(io.LimitReader(r.Body, g.maxObj+1), hash))
+	track := &readErrTracker{r: io.LimitReader(r.Body, limit)}
+	n, err := io.Copy(bw, io.TeeReader(track, hash))
 	switch {
 	case err != nil:
 		abandon()
-		writeErr(w, http.StatusBadRequest, "IncompleteBody", err.Error())
+		// Only a body-side read failure is the client's fault; a failed
+		// chunk flush (replica quorum, placement) is a backend error and
+		// must stay retryable for S3 clients.
+		if track.err != nil {
+			writeErr(w, http.StatusBadRequest, "IncompleteBody", err.Error())
+		} else {
+			writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
+		}
 		return
 	case n > g.maxObj:
 		abandon()
@@ -377,17 +423,27 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket
 		return
 	}
 	if err := bw.Close(); err != nil {
-		g.reclaim(info.ID)
+		abandon() // Close is idempotent: re-closing returns the same error
 		writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
 		return
 	}
 	etag := fmt.Sprintf("%q", base64.StdEncoding.EncodeToString(hash.Sum(nil)[:16]))
 	g.mu.Lock()
+	// The bucket may have been deleted while the body streamed; inserting
+	// would then write into a nil map. The published blob loses the race:
+	// reclaim it and report the bucket gone.
+	objs, ok := g.buckets[bucket]
+	if !ok {
+		g.mu.Unlock()
+		g.reclaim(info.ID)
+		writeErr(w, http.StatusNotFound, "NoSuchBucket", bucket)
+		return
+	}
 	var oldBlob uint64
-	if old, exists := g.buckets[bucket][key]; exists {
+	if old, exists := objs[key]; exists {
 		oldBlob = old.blob
 	}
-	g.buckets[bucket][key] = &object{
+	objs[key] = &object{
 		blob: info.ID, size: n, etag: etag,
 		modified: g.now(), owner: user,
 	}
@@ -397,6 +453,21 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket
 	}
 	w.Header().Set("ETag", etag)
 	w.WriteHeader(http.StatusOK)
+}
+
+// readErrTracker records body-side read failures so putObject can tell
+// them apart from writer-side flush failures after an io.Copy.
+type readErrTracker struct {
+	r   io.Reader
+	err error
+}
+
+func (t *readErrTracker) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err != nil && err != io.EOF {
+		t.err = err
+	}
+	return n, err
 }
 
 // parseRange parses a single-range "bytes=..." header against an object
@@ -464,6 +535,7 @@ func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request, user, bucket
 	}
 	offset, length := int64(0), o.size
 	status := http.StatusOK
+	contentRange := ""
 	if h := r.Header.Get("Range"); h != "" && r.Method == http.MethodGet {
 		if lo, hi, ok, satisfiable := parseRange(h, o.size); ok {
 			if !satisfiable {
@@ -473,18 +545,28 @@ func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request, user, bucket
 			}
 			offset, length = lo, hi-lo+1
 			status = http.StatusPartialContent
-			w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", lo, hi, o.size))
+			contentRange = fmt.Sprintf("bytes %d-%d/%d", lo, hi, o.size)
 		}
 	}
-	w.Header().Set("ETag", o.etag)
-	w.Header().Set("Accept-Ranges", "bytes")
-	w.Header().Set("Content-Length", strconv.FormatInt(length, 10))
-	w.Header().Set("Last-Modified", o.modified.UTC().Format(http.TimeFormat))
+	// Entity headers are staged only once the read path is known to
+	// succeed: an error response sent under an already-set Content-Length
+	// of the full object would be truncated by net/http.
+	setEntity := func() {
+		if contentRange != "" {
+			w.Header().Set("Content-Range", contentRange)
+		}
+		w.Header().Set("ETag", o.etag)
+		w.Header().Set("Accept-Ranges", "bytes")
+		w.Header().Set("Content-Length", strconv.FormatInt(length, 10))
+		w.Header().Set("Last-Modified", o.modified.UTC().Format(http.TimeFormat))
+	}
 	if r.Method == http.MethodHead {
+		setEntity()
 		w.WriteHeader(http.StatusOK)
 		return
 	}
 	if length == 0 {
+		setEntity()
 		w.WriteHeader(status)
 		return
 	}
@@ -497,10 +579,11 @@ func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request, user, bucket
 	}
 	rd, err := blob.NewReader(ctx, 0, offset, length)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
+		writeOpErr(w, err)
 		return
 	}
 	defer rd.Close()
+	setEntity()
 	w.WriteHeader(status)
 	// io.Copy dispatches to rd.WriteTo: chunk-by-chunk, prefetch ahead.
 	_, _ = io.Copy(w, rd)
@@ -525,12 +608,33 @@ func (g *Gateway) deleteObject(w http.ResponseWriter, user, bucket, key string) 
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// reclaim deletes a blob's chunks from the providers.
+// reclaim deletes a blob's published chunks from the providers, one
+// removed reference per slot. Gateway blobs have exactly one published
+// version (each PUT creates a fresh blob), so a per-slot walk of that
+// version balances provider refcounts exactly — VM.Delete's
+// ID-deduplicated descs would under-count slots with repeated content.
 func (g *Gateway) reclaim(blob uint64) {
-	descs, err := g.cluster.VM.Delete(blob)
-	if err != nil {
+	var descs []chunk.Desc
+	if latest, err := g.cluster.VM.Latest(blob); err == nil && latest.Version != 0 {
+		if tree, err := g.cluster.VM.Tree(blob); err == nil {
+			_ = tree.Walk(latest.Version, 0, tree.Span(), func(_ int64, d chunk.Desc) error {
+				if !d.ID.IsZero() {
+					descs = append(descs, d)
+				}
+				return nil
+			})
+		}
+	}
+	if _, err := g.cluster.VM.Delete(blob); err != nil {
 		return
 	}
+	g.reclaimDescs(descs)
+}
+
+// reclaimDescs removes the given chunk replicas from their providers —
+// the path for flushed-but-unpublished chunks of an abandoned PUT, which
+// VM.Delete cannot enumerate.
+func (g *Gateway) reclaimDescs(descs []chunk.Desc) {
 	pool := g.cluster.Pool()
 	for _, d := range descs {
 		for _, p := range d.Providers {

@@ -2,6 +2,8 @@ package s3gate
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -470,6 +472,242 @@ func (s *slowBody) Read(p []byte) (int, error) {
 	copy(p, s.data[:n])
 	s.data = s.data[n:]
 	return n, nil
+}
+
+// hookBody streams a payload and runs a hook once, after roughly half
+// the bytes have been consumed — a deterministic way to interleave a
+// second request with an in-flight upload.
+type hookBody struct {
+	data  []byte
+	left  int
+	fired bool
+	mid   func()
+}
+
+func newHookBody(data []byte, mid func()) *hookBody {
+	return &hookBody{data: data, left: len(data) / 2, mid: mid}
+}
+
+func (h *hookBody) Read(p []byte) (int, error) {
+	if !h.fired && h.left <= 0 {
+		h.fired = true
+		h.mid()
+	}
+	if len(h.data) == 0 {
+		return 0, io.EOF
+	}
+	n := 64
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(h.data) {
+		n = len(h.data)
+	}
+	copy(p, h.data[:n])
+	h.data = h.data[n:]
+	h.left -= n
+	return n, nil
+}
+
+// providersEmpty fails the test if any provider still holds chunks.
+func providersEmpty(t *testing.T, cluster *core.Cluster, when string) {
+	t.Helper()
+	for _, id := range cluster.Providers() {
+		p, ok := cluster.Provider(id)
+		if !ok {
+			continue
+		}
+		if n := len(p.Keys()); n != 0 {
+			t.Fatalf("%s: provider %s still holds %d chunks", when, id, n)
+		}
+	}
+}
+
+// TestPutRacingBucketDelete deletes the bucket while a PUT body is still
+// streaming: the PUT must fail with NoSuchBucket — not panic on the
+// vanished bucket map — and the already-published blob and its chunks
+// must be reclaimed.
+func TestPutRacingBucketDelete(t *testing.T) {
+	cluster, err := core.NewCluster(core.Options{Providers: 3, Monitoring: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(cluster, WithChunkSize(64))
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	// Every full 64-byte chunk has identical content: the race branch
+	// reclaims via the writer's per-slot descriptors, so each slot's
+	// provider refcount is balanced exactly — a deduplicating reclaim
+	// would leave refcounts behind and fail the emptiness check below.
+	payload := bytes.Repeat([]byte("r"), 10000)
+	body := newHookBody(payload, func() {
+		// The object is only inserted at PUT completion, so the bucket is
+		// still empty and deletable mid-upload.
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/b", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Errorf("mid-stream bucket delete: %v", err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Errorf("mid-stream bucket delete: status=%d", resp.StatusCode)
+		}
+	})
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/b/k", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = int64(len(payload))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(msg), "NoSuchBucket") {
+		t.Fatalf("put into deleted bucket: status=%d body=%s", resp.StatusCode, msg)
+	}
+	if n := len(cluster.VM.Blobs()); n != 0 {
+		t.Fatalf("blob from a lost PUT race survived: %d live blobs", n)
+	}
+	providersEmpty(t, cluster, "after racing put")
+}
+
+// TestAbandonedPutReclaimsFlushedChunks streams an oversized body through
+// a small-chunk gateway: by the time the limit trips, many chunk slots
+// have already been flushed to providers, and since the version was never
+// published the gateway must remove them via the writer's descriptors —
+// VM.Delete alone cannot see them.
+func TestAbandonedPutReclaimsFlushedChunks(t *testing.T) {
+	cluster, err := core.NewCluster(core.Options{Providers: 3, Monitoring: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(cluster, WithChunkSize(64), WithMaxObjectSize(1024))
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/b/big",
+		&slowBody{data: bytes.Repeat([]byte("x"), 4096), step: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = -1 // chunked: the limit trips mid-stream
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(msg), "EntityTooLarge") {
+		t.Fatalf("oversized put: status=%d body=%s", resp.StatusCode, msg)
+	}
+	if n := len(cluster.VM.Blobs()); n != 0 {
+		t.Fatalf("partial blob leaked: %d live blobs", n)
+	}
+	providersEmpty(t, cluster, "after abandoned put")
+}
+
+// TestPutBackendFailureIs500 fails every chunk flush (one of three
+// replicas down, quorum = all): the PUT must surface a retryable 500
+// InternalError, not blame the client with 400 IncompleteBody.
+func TestPutBackendFailureIs500(t *testing.T) {
+	cluster, err := core.NewCluster(core.Options{Providers: 3, Replicas: 3, Monitoring: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := cluster.Provider("provider001"); ok {
+		p.Stop()
+	} else {
+		t.Fatal("no provider001")
+	}
+	g := New(cluster, WithChunkSize(64)) // flush — and fail — mid-stream
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/b/k",
+		&slowBody{data: bytes.Repeat([]byte("f"), 8192), step: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = -1
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError || !strings.Contains(string(msg), "InternalError") {
+		t.Fatalf("backend-failed put: status=%d body=%s", resp.StatusCode, msg)
+	}
+}
+
+// denyReads admits everything except reads — the shape of a policy
+// decision landing between a PUT and its GET.
+type denyReads struct{}
+
+func (denyReads) Allow(_ context.Context, _ string, op instrument.Op) error {
+	if op == instrument.OpRead {
+		return errors.New("reads denied")
+	}
+	return nil
+}
+
+// TestGetReaderFailureSendsCleanError denies the read at NewReader time:
+// the error document must arrive intact — not truncated under a
+// Content-Length staged for the full object before the reader opened.
+func TestGetReaderFailureSendsCleanError(t *testing.T) {
+	cluster, err := core.NewCluster(core.Options{Providers: 3, Monitoring: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(cluster, WithClientOptions(client.WithGatekeeper(denyReads{})))
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	do(t, http.MethodPut, srv.URL+"/b/k", bytes.Repeat([]byte("g"), 2048))
+	resp := do(t, http.MethodGet, srv.URL+"/b/k", nil)
+	msg, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("error response truncated mid-body: %v", err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError || !strings.Contains(string(msg), "InternalError") {
+		t.Fatalf("denied get: status=%d body=%s", resp.StatusCode, msg)
+	}
+}
+
+// TestOverwriteReclaimsRepeatedContentChunks overwrites then deletes an
+// object whose full chunks all share one content hash: the per-slot
+// reclaim walk must drop every provider refcount the stores added, where
+// an ID-deduplicated reclaim would strand all but one.
+func TestOverwriteReclaimsRepeatedContentChunks(t *testing.T) {
+	cluster, err := core.NewCluster(core.Options{Providers: 3, Monitoring: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(cluster, WithChunkSize(64))
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	old := bytes.Repeat([]byte("o"), 640) // ten identical 64-byte chunks
+	do(t, http.MethodPut, srv.URL+"/b/k", old)
+	if resp := do(t, http.MethodPut, srv.URL+"/b/k", []byte("new")); resp.StatusCode != 200 {
+		t.Fatalf("overwrite: %d", resp.StatusCode)
+	}
+	if resp := do(t, http.MethodDelete, srv.URL+"/b/k", nil); resp.StatusCode != 204 {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	if n := len(cluster.VM.Blobs()); n != 0 {
+		t.Fatalf("live blobs=%d after overwrite+delete", n)
+	}
+	providersEmpty(t, cluster, "after overwrite+delete")
 }
 
 // TestPutStreamsIncrementalBody pushes a chunked, length-unknown body

@@ -128,9 +128,21 @@ func (r *Replicator) TargetDegree(blob uint64) int {
 // published as a new metadata version per BLOB (chunks are immutable, so
 // repair means new descriptors, not data rewrites).
 func (r *Replicator) Scan(now time.Time) (RepairReport, error) {
+	return r.ScanContext(context.Background(), now)
+}
+
+// ScanContext is Scan with cancellation: a cancelled ctx aborts the pass
+// between BLOBs and stops in-flight repair transfers.
+func (r *Replicator) ScanContext(ctx context.Context, now time.Time) (RepairReport, error) {
 	rep := RepairReport{Time: now}
 	var firstErr error
 	for _, blob := range r.vm.Blobs() {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
 		latest, err := r.vm.Latest(blob)
 		if err != nil || latest.Version == 0 {
 			continue
@@ -175,7 +187,7 @@ func (r *Replicator) Scan(now time.Time) (RepairReport, error) {
 		}
 		writes := make(map[int64]chunk.Desc, len(fixes))
 		for _, f := range fixes {
-			nd, err := r.repairChunk(context.Background(), f.desc, target)
+			nd, err := r.repairChunk(ctx, f.desc, target)
 			if err != nil {
 				rep.Failed++
 				if firstErr == nil {
@@ -344,6 +356,12 @@ func NewReaper(vm *vmanager.Manager, pool Pool, emit instrument.Emitter, strateg
 
 // Run performs one reaping pass, returning the BLOBs removed.
 func (r *Reaper) Run(now time.Time) ([]uint64, error) {
+	return r.RunContext(context.Background(), now)
+}
+
+// RunContext is Run with cancellation: a cancelled ctx aborts the pass
+// between BLOBs.
+func (r *Reaper) RunContext(ctx context.Context, now time.Time) ([]uint64, error) {
 	seen := map[uint64]bool{}
 	var victims []uint64
 	for _, s := range r.strategies {
@@ -358,6 +376,12 @@ func (r *Reaper) Run(now time.Time) ([]uint64, error) {
 	var firstErr error
 	var removed []uint64
 	for _, blob := range victims {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
 		descs, err := r.vm.Delete(blob)
 		if err != nil {
 			if errors.Is(err, vmanager.ErrDeleted) {
@@ -371,7 +395,7 @@ func (r *Reaper) Run(now time.Time) ([]uint64, error) {
 		for _, d := range descs {
 			for _, p := range d.Providers {
 				// Best effort: dead providers keep stale chunks.
-				_ = r.pool.Remove(context.Background(), p, d.ID)
+				_ = r.pool.Remove(ctx, p, d.ID)
 			}
 		}
 		removed = append(removed, blob)

@@ -145,6 +145,25 @@ func TestScanRepairsLostReplica(t *testing.T) {
 	}
 }
 
+// TestScanContextCancelled aborts a scan before it starts: no blob may
+// be visited and the cancellation must surface.
+func TestScanContextCancelled(t *testing.T) {
+	r := newRig(t, 5)
+	r.writeBlob(t, []byte("payload"), []string{"p00", "p01"})
+	r.pool.providers["p00"].Stop()
+
+	rep := NewReplicator(r.vm, r.pm, r.pool, nil, WithBaseDegree(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	report, err := rep.ScanContext(ctx, t0)
+	if err != context.Canceled {
+		t.Fatalf("cancelled scan: err=%v", err)
+	}
+	if report.BlobsScanned != 0 || report.Repaired != 0 {
+		t.Fatalf("cancelled scan did work: %+v", report)
+	}
+}
+
 func TestScanIdempotentWhenHealthy(t *testing.T) {
 	r := newRig(t, 4)
 	r.writeBlob(t, []byte("ok"), []string{"p00", "p01"})
