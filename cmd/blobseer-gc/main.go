@@ -1,0 +1,288 @@
+// Command blobseer-gc administers the storage-lifecycle subsystem: it
+// drives on-demand retention and mark-and-sweep passes against an
+// in-process cluster, with a dry-run mode that classifies chunks without
+// removing anything, and a bench mode that measures sweep throughput on
+// a 10k-chunk cluster plus streaming read throughput while the garbage
+// collector runs (emitting BENCH_gc.json for the perf trajectory).
+//
+// Usage:
+//
+//	blobseer-gc                  # lifecycle demo: versions, retention, pinned delete, sweep
+//	blobseer-gc -dry-run         # same demo, but the sweep only classifies
+//	blobseer-gc -bench           # measure sweep + streaming-read throughput
+//	blobseer-gc -bench -out F    # write the JSON report to F (default BENCH_gc.json)
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"blobseer/internal/chunk"
+	"blobseer/internal/core"
+	"blobseer/internal/vmanager"
+)
+
+func main() {
+	var (
+		bench     = flag.Bool("bench", false, "measure sweep and streaming-read throughput, emit JSON")
+		out       = flag.String("out", "BENCH_gc.json", "bench: output path for the JSON report")
+		dryRun    = flag.Bool("dry-run", false, "demo: classify sweepable chunks without removing them")
+		providers = flag.Int("providers", 4, "data providers in the cluster")
+		chunks    = flag.Int("chunks", 10000, "bench: target chunk population for the sweep measurement")
+	)
+	flag.Parse()
+	if *bench {
+		if err := runBench(*providers, *chunks, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runDemo(*providers, *dryRun); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runDemo exercises the whole lifecycle on a small cluster and prints
+// each stage's report.
+func runDemo(providers int, dryRun bool) error {
+	c, err := core.NewCluster(core.Options{
+		Providers: providers, Monitoring: false, GCGraceEpochs: -1,
+	})
+	if err != nil {
+		return err
+	}
+	cl := c.Client("admin")
+	info, err := cl.Create(4 << 10)
+	if err != nil {
+		return err
+	}
+
+	// Four versions with overlapping content, under a keep-last-2 policy.
+	for i := 0; i < 4; i++ {
+		data := bytes.Repeat([]byte{byte('a' + i%2)}, 8<<10)
+		if _, err := cl.Write(info.ID, 0, data); err != nil {
+			return err
+		}
+	}
+	if err := c.VM.SetRetention(info.ID, vmanager.Retention{KeepLast: 2}); err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %d providers, blob %d with 4 versions, %d chunks stored\n",
+		providers, info.ID, clusterChunks(c))
+
+	ctx := context.Background()
+	ret, err := c.GC.EnforceRetention(ctx, time.Now())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retention: scanned %d blobs, retired %d versions (%d pinned skipped)\n",
+		ret.BlobsScanned, ret.Retired, ret.PinnedSkipped)
+
+	// A pinned reader rides through the delete.
+	b, err := cl.Open(ctx, info.ID)
+	if err != nil {
+		return err
+	}
+	rd, err := b.NewReader(ctx, 0, 0, -1)
+	if err != nil {
+		return err
+	}
+	if err := c.GC.DeleteBlob(ctx, info.ID); err != nil {
+		return err
+	}
+	fmt.Printf("delete: blob %d deleted; deferred behind pins: %v\n", info.ID, c.GC.DeferredBlobs())
+	n, err := io.Copy(io.Discard, rd)
+	if err != nil {
+		return err
+	}
+	if err := rd.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("pinned reader drained %d bytes, close reclaimed the deferral\n", n)
+
+	rep, err := c.GC.Sweep(ctx, dryRun)
+	if err != nil {
+		return err
+	}
+	mode := "sweep"
+	if dryRun {
+		mode = "sweep (dry-run)"
+	}
+	fmt.Printf("%s: %d providers, scanned %d, live %d, in-grace %d, swept %d (%d bytes)\n",
+		mode, rep.Providers, rep.Scanned, rep.Live, rep.InGrace, rep.Swept, rep.SweptBytes)
+	st := c.GC.Stats()
+	fmt.Printf("stats: pins=%d deferred=%d swept=%d chunks/%d bytes, fast-path ref releases=%d, retired=%d\n",
+		st.Pins, st.DeferredBlobs, st.SweptChunks, st.SweptBytes, st.ReclaimedRefs, st.RetiredVers)
+	fmt.Printf("remaining chunks across providers: %d\n", clusterChunks(c))
+	return nil
+}
+
+// benchReport is the BENCH_gc.json schema.
+type benchReport struct {
+	Time      string  `json:"time"`
+	Providers int     `json:"providers"`
+	Sweep     sweepB  `json:"sweep"`
+	Stream    streamB `json:"stream_read"`
+}
+
+type sweepB struct {
+	Chunks       int     `json:"chunks"`
+	Swept        int     `json:"swept"`
+	DurationMS   float64 `json:"duration_ms"`
+	ChunksPerSec float64 `json:"chunks_per_sec"`
+	SweptMBps    float64 `json:"swept_mb_per_sec"`
+}
+
+type streamB struct {
+	Bytes       int64   `json:"bytes"`
+	GCOffMBps   float64 `json:"gc_off_mbps"`
+	GCOnMBps    float64 `json:"gc_on_mbps"`
+	SweepPasses int     `json:"sweep_passes_during_read"`
+}
+
+// runBench measures (1) mark-and-sweep throughput over a cluster holding
+// about `chunks` chunks, half of them unreferenced orphans, and (2)
+// streaming read throughput with and without the lifecycle runner
+// sweeping concurrently.
+func runBench(providers, chunks int, out string) error {
+	const chunkSize = 4 << 10
+	c, err := core.NewCluster(core.Options{
+		Providers: providers, Monitoring: false, GCGraceEpochs: -1,
+	})
+	if err != nil {
+		return err
+	}
+	cl := c.Client("bench")
+	ctx := context.Background()
+
+	// Live population: half the target, written through the client.
+	live := chunks / 2
+	info, err := cl.Create(chunkSize)
+	if err != nil {
+		return err
+	}
+	b, err := cl.Open(ctx, info.ID)
+	if err != nil {
+		return err
+	}
+	w, err := b.NewWriter(ctx, 0)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, chunkSize)
+	for i := 0; i < live; i++ {
+		// Distinct content per slot so the population is `live` chunks.
+		copy(buf, fmt.Sprintf("live-chunk-%d", i))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+
+	// Orphan population: stored directly on providers, referenced by no
+	// metadata — the RPC-plane accounting gap at scale.
+	ids := c.Providers()
+	for i := live; i < chunks; i++ {
+		copy(buf, fmt.Sprintf("orphan-chunk-%d", i))
+		p, _ := c.Provider(ids[i%len(ids)])
+		if err := p.Store(ctx, "stray", chunk.Sum(buf), buf); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	rep, err := c.GC.Sweep(ctx, false)
+	if err != nil {
+		return err
+	}
+	dur := time.Since(start)
+	sb := sweepB{
+		Chunks:       rep.Scanned,
+		Swept:        rep.Swept,
+		DurationMS:   float64(dur.Microseconds()) / 1000,
+		ChunksPerSec: float64(rep.Scanned) / dur.Seconds(),
+		SweptMBps:    float64(rep.SweptBytes) / (1 << 20) / dur.Seconds(),
+	}
+
+	// Streaming read throughput, averaged over several full-blob passes
+	// so the measurement outlasts a few sweep periods.
+	const readPasses = 4
+	readAll := func() (float64, error) {
+		var total int64
+		t0 := time.Now()
+		for i := 0; i < readPasses; i++ {
+			rd, err := b.NewReader(ctx, 0, 0, -1)
+			if err != nil {
+				return 0, err
+			}
+			n, err := io.Copy(io.Discard, rd)
+			rd.Close()
+			if err != nil {
+				return 0, err
+			}
+			total += n
+		}
+		return float64(total) / (1 << 20) / time.Since(t0).Seconds(), nil
+	}
+	offMBps, err := readAll()
+	if err != nil {
+		return err
+	}
+
+	// The same read with the lifecycle runner sweeping concurrently at a
+	// production-like cadence.
+	runner := c.GCRunner(25 * time.Millisecond)
+	rctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() { defer close(done); _ = runner.Run(rctx) }()
+	onMBps, err := readAll()
+	cancel()
+	<-done
+	if err != nil {
+		return err
+	}
+	_, _, passes := runner.LastReports()
+
+	report := benchReport{
+		Time:      time.Now().UTC().Format(time.RFC3339),
+		Providers: providers,
+		Sweep:     sb,
+		Stream: streamB{
+			Bytes:       int64(live) * chunkSize * readPasses,
+			GCOffMBps:   offMBps,
+			GCOnMBps:    onMBps,
+			SweepPasses: passes,
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s", data)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	return nil
+}
+
+func clusterChunks(c *core.Cluster) int {
+	n := 0
+	for _, id := range c.Providers() {
+		if p, ok := c.Provider(id); ok {
+			n += p.Stats().Chunks
+		}
+	}
+	return n
+}

@@ -59,7 +59,7 @@ func main() {
 	if _, err := cl.Read(scratch.ID, 0, 0, 7); err != nil {
 		log.Fatal(err)
 	}
-	reaper := selfopt.NewReaper(cluster.VM, cluster.Pool(), nil,
+	reaper := cluster.NewReaper(
 		selfopt.TemporaryStrategy{VM: cluster.VM, In: cluster.Intro})
 	removed, err := reaper.Run(time.Now())
 	if err != nil {

@@ -61,10 +61,27 @@ func (b *Blob) NewReader(ctx context.Context, version uint64, offset, length int
 	if err != nil {
 		return nil, err
 	}
+	// Pin before snapshotting descriptors: from here until Close the
+	// lifecycle layer defers reclaiming this version, so a concurrent
+	// delete cannot pull chunks out from under the stream. A pin refused
+	// because the BLOB was just deleted fails the open cleanly instead.
+	pinned := false
+	if c.pinner != nil {
+		if err := c.pinner.Pin(b.info.ID, vm.Version); err != nil {
+			return nil, err
+		}
+		pinned = true
+	}
+	unpin := func() {
+		if pinned {
+			c.pinner.Unpin(b.info.ID, vm.Version)
+		}
+	}
 	if length < 0 {
 		length = vm.Size - offset
 	}
 	if offset < 0 || length < 0 || offset+length > vm.Size {
+		unpin()
 		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrShortRead, offset, offset+length, vm.Size)
 	}
 	var descs []chunk.Desc
@@ -72,12 +89,14 @@ func (b *Blob) NewReader(ctx context.Context, version uint64, offset, length int
 	if length > 0 {
 		tree, err := c.vm.Tree(b.info.ID)
 		if err != nil {
+			unpin()
 			return nil, err
 		}
 		loIdx = offset / b.info.ChunkSize
 		hiIdx := (offset + length - 1) / b.info.ChunkSize
 		descs, err = tree.Read(vm.Version, loIdx, hiIdx+1)
 		if err != nil {
+			unpin()
 			return nil, err
 		}
 	}
@@ -89,6 +108,7 @@ func (b *Blob) NewReader(ctx context.Context, version uint64, offset, length int
 		window:  int64(c.prefetch),
 		futures: make(map[int64]*chunkFuture),
 		started: start,
+		pinned:  pinned,
 	}, nil
 }
 
@@ -139,6 +159,7 @@ type BlobReader struct {
 	started   time.Time
 	err       error
 	closed    bool
+	pinned    bool // version pinned in the lifecycle layer until Close
 }
 
 // Version returns the resolved version the reader serves.
@@ -338,14 +359,18 @@ func (r *BlobReader) Seek(offset int64, whence int) (int64, error) {
 	return abs, nil
 }
 
-// Close cancels in-flight chunk fetches and emits the read event. It is
-// idempotent.
+// Close cancels in-flight chunk fetches, releases the version pin (a
+// reclaim queued behind it runs before Close returns) and emits the read
+// event. It is idempotent.
 func (r *BlobReader) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
 	r.cancel()
+	if r.pinned {
+		r.c.pinner.Unpin(r.blob, r.version)
+	}
 	now := r.c.now()
 	// Report the bytes actually delivered, not the window size or seek
 	// position: an aborted or sparsely-consumed stream must not inflate

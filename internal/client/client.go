@@ -68,6 +68,16 @@ type AllowAll struct{}
 // Allow always admits.
 func (AllowAll) Allow(context.Context, string, instrument.Op) error { return nil }
 
+// Pinner is the storage-lifecycle hook streaming readers pin versions
+// through: Pin is called once the read version is resolved and must fail
+// if the BLOB is already deleted; Unpin releases on Close. While a pin
+// is held the lifecycle layer defers chunk reclamation of the version,
+// so a concurrent delete or overwrite cannot truncate the stream.
+type Pinner interface {
+	Pin(blob, version uint64) error
+	Unpin(blob, version uint64)
+}
+
 // Client is a BlobSeer client bound to one user identity.
 type Client struct {
 	user     string
@@ -75,6 +85,7 @@ type Client struct {
 	pm       *pmanager.Manager
 	dir      Directory
 	gate     Gatekeeper
+	pinner   Pinner
 	emit     instrument.Emitter
 	now      func() time.Time
 	replicas int
@@ -103,6 +114,13 @@ func WithGatekeeper(g Gatekeeper) Option {
 			c.gate = g
 		}
 	}
+}
+
+// WithPinner installs the storage-lifecycle pin hook: every reader the
+// client mints pins its (blob, version) for the stream's lifetime
+// (default: no pinning).
+func WithPinner(p Pinner) Option {
+	return func(c *Client) { c.pinner = p }
 }
 
 // WithEmitter attaches instrumentation.

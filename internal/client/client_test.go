@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -472,4 +473,104 @@ func newBedQuick() *bed {
 		_ = b.pm.Register(pmanager.Info{ID: id, Zone: "z"})
 	}
 	return b
+}
+
+// recPinner records pin/unpin traffic for the lifecycle hook tests.
+type recPinner struct {
+	mu      sync.Mutex
+	held    map[[2]uint64]int
+	pins    int
+	failPin error
+}
+
+func newRecPinner() *recPinner { return &recPinner{held: map[[2]uint64]int{}} }
+
+func (p *recPinner) Pin(blob, version uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failPin != nil {
+		return p.failPin
+	}
+	p.held[[2]uint64{blob, version}]++
+	p.pins++
+	return nil
+}
+
+func (p *recPinner) Unpin(blob, version uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.held[[2]uint64{blob, version}]--
+	if p.held[[2]uint64{blob, version}] == 0 {
+		delete(p.held, [2]uint64{blob, version})
+	}
+}
+
+func (p *recPinner) outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.held)
+}
+
+// TestReaderPinsVersion: a reader pins its resolved version for exactly
+// its open-to-Close lifetime, failed opens leave no pin behind, and a
+// refused pin fails the open.
+func TestReaderPinsVersion(t *testing.T) {
+	b := newBed(t, 2)
+	pinner := newRecPinner()
+	c := b.client("alice", WithPinner(pinner))
+	info, err := c.Create(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(info.ID, 0, []byte("0123456789abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	bh, err := c.Open(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := bh.NewReader(ctx, 0, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinner.outstanding() != 1 || pinner.held[[2]uint64{info.ID, 1}] != 1 {
+		t.Fatalf("pins after open = %v", pinner.held)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil { // idempotent: no double unpin
+		t.Fatal(err)
+	}
+	if pinner.outstanding() != 0 {
+		t.Fatalf("pins after close = %v", pinner.held)
+	}
+
+	// A failed open (window past the version size) releases its pin.
+	if _, err := bh.NewReader(ctx, 0, 0, 1<<20); !errors.Is(err, ErrShortRead) {
+		t.Fatalf("oversized window: %v", err)
+	}
+	if pinner.outstanding() != 0 {
+		t.Fatalf("failed open leaked a pin: %v", pinner.held)
+	}
+	if pinner.pins != 2 {
+		t.Fatalf("pin calls = %d, want 2", pinner.pins)
+	}
+
+	// A refused pin fails the open before any chunk is fetched.
+	pinner.failPin = errors.New("deleted")
+	if _, err := bh.NewReader(ctx, 0, 0, -1); err == nil {
+		t.Fatal("open succeeded against a refused pin")
+	}
+
+	// The compatibility Read wrapper pins and unpins too.
+	pinner.failPin = nil
+	if _, err := c.Read(info.ID, 0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if pinner.outstanding() != 0 {
+		t.Fatalf("wrapper leaked a pin: %v", pinner.held)
+	}
 }

@@ -20,6 +20,7 @@ import (
 	"blobseer/internal/blobmeta"
 	"blobseer/internal/chunk"
 	"blobseer/internal/client"
+	"blobseer/internal/gc"
 	"blobseer/internal/history"
 	"blobseer/internal/instrument"
 	"blobseer/internal/introspect"
@@ -51,6 +52,7 @@ type Options struct {
 	Clock            func() time.Time
 	Elasticity       *selfconfig.Config // enable the elasticity controller
 	BaseDegree       int                // replication maintenance target (default = Replicas)
+	GCGraceEpochs    int                // sweep write-in-progress grace window (0 = default 1, -1 = none)
 }
 
 // Cluster is a fully wired in-process deployment.
@@ -69,6 +71,7 @@ type Cluster struct {
 	Eng   *policy.Engine
 	Rep   *selfopt.Replicator
 	Elast *selfconfig.Controller
+	GC    *gc.Manager
 
 	mu        sync.Mutex
 	providers map[string]*provider.Provider
@@ -166,6 +169,20 @@ func NewCluster(opts Options) (*Cluster, error) {
 	c.Rep = selfopt.NewReplicator(c.VM, c.PM, poolAdapter{c}, c.Intro,
 		selfopt.WithBaseDegree(opts.BaseDegree),
 		selfopt.WithEmitter(c.agentFor("selfopt")))
+
+	// Storage lifecycle: every deletion routes through it, every reader
+	// pins through it.
+	grace := 1
+	switch {
+	case opts.GCGraceEpochs > 0:
+		grace = opts.GCGraceEpochs
+	case opts.GCGraceEpochs < 0:
+		grace = 0
+	}
+	c.GC = gc.New(c.VM, gcProviders{c},
+		gc.WithGraceEpochs(grace),
+		gc.WithEmitter(c.agentFor("gc")),
+		gc.WithClock(c.now))
 
 	// Self-configuration (optional).
 	if opts.Elasticity != nil {
@@ -275,6 +292,7 @@ func (c *Cluster) ClientWith(user string, extra ...client.Option) *client.Client
 		client.WithWriteQuorum(c.opts.WriteQuorum),
 		client.WithHedgedReads(c.opts.HedgedReads),
 		client.WithGatekeeper(c.Enf),
+		client.WithPinner(c.GC),
 		client.WithEmitter(emitter),
 		client.WithClock(c.now),
 	}
@@ -356,6 +374,65 @@ func (a poolAdapter) Alive(id string) bool {
 
 // Pool exposes the cluster's providers as a selfopt.Pool (for reapers).
 func (c *Cluster) Pool() selfopt.Pool { return poolAdapter{c} }
+
+// gcProviders exposes the cluster's providers as the lifecycle
+// manager's sweep surface. Only live providers are swept: a stopped
+// provider keeps its chunks until it restarts (matching real
+// decommissioning, where its disks are gone anyway).
+type gcProviders struct{ c *Cluster }
+
+func (a gcProviders) IDs() []string { return a.c.Providers() }
+
+func (a gcProviders) ListChunks(ctx context.Context, id string, after chunk.ID, limit int) ([]provider.ChunkInfo, bool, error) {
+	p, ok := a.c.Provider(id)
+	if !ok {
+		return nil, false, fmt.Errorf("core: no provider %s", id)
+	}
+	return p.ListChunks(ctx, after, limit)
+}
+
+func (a gcProviders) Purge(ctx context.Context, id string, ids []chunk.ID) (int, int64, error) {
+	p, ok := a.c.Provider(id)
+	if !ok {
+		return 0, 0, fmt.Errorf("core: no provider %s", id)
+	}
+	return p.PurgeChunks(ctx, ids)
+}
+
+func (a gcProviders) AdvanceEpoch(_ context.Context, id string) (uint64, error) {
+	p, ok := a.c.Provider(id)
+	if !ok {
+		return 0, fmt.Errorf("core: no provider %s", id)
+	}
+	return p.AdvanceEpoch()
+}
+
+func (a gcProviders) Epoch(_ context.Context, id string) (uint64, error) {
+	p, ok := a.c.Provider(id)
+	if !ok {
+		return 0, fmt.Errorf("core: no provider %s", id)
+	}
+	return p.Epoch()
+}
+
+func (a gcProviders) Remove(ctx context.Context, id string, ch chunk.ID) error {
+	return poolAdapter{a.c}.Remove(ctx, id, ch)
+}
+
+// GCRunner returns a background lifecycle runner (periodic retention +
+// sweep) over the cluster's GC manager; run it with Run(ctx).
+func (c *Cluster) GCRunner(interval time.Duration) *gc.Runner {
+	return gc.NewRunner(c.GC, interval)
+}
+
+// NewReaper returns a removal-strategy reaper whose deletions route
+// through the cluster's lifecycle manager, so reader pins are honoured
+// and healed BLOBs reclaim exactly.
+func (c *Cluster) NewReaper(strategies ...selfopt.Strategy) *selfopt.Reaper {
+	r := selfopt.NewReaper(c.VM, c.Pool(), c.agentFor("reaper"), strategies...)
+	r.RouteDeletes(c.GC)
+	return r
+}
 
 // actuator implements selfconfig.Actuator over the cluster.
 type actuator struct{ c *Cluster }

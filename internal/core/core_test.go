@@ -178,8 +178,9 @@ func TestClusterReaperIntegration(t *testing.T) {
 	if _, err := cl.Write(info.ID, 0, []byte("temporary")); err != nil {
 		t.Fatal(err)
 	}
-	reaper := selfopt.NewReaper(c.VM, c.Pool(), nil,
-		selfopt.TTLStrategy{In: c.Intro, TTL: time.Minute})
+	// NewReaper routes deletions through the lifecycle manager: pins are
+	// honoured and chunk reclaim is exact.
+	reaper := c.NewReaper(selfopt.TTLStrategy{In: c.Intro, TTL: time.Minute})
 	removed, err := reaper.Run(now.Add(time.Hour))
 	if err != nil {
 		t.Fatal(err)
@@ -189,6 +190,11 @@ func TestClusterReaperIntegration(t *testing.T) {
 	}
 	if _, err := cl.Read(info.ID, 0, 0, 1); err == nil {
 		t.Fatal("deleted blob still readable")
+	}
+	for _, id := range c.Providers() {
+		if p, _ := c.Provider(id); p.Stats().Chunks != 0 {
+			t.Fatalf("provider %s keeps %d chunks after reap", id, p.Stats().Chunks)
+		}
 	}
 }
 

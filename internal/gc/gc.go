@@ -1,0 +1,716 @@
+// Package gc implements the storage-lifecycle subsystem: the layer that
+// owns chunk liveness end to end. BlobSeer's versioning model keeps every
+// version of every BLOB immutable, so storage only ever grows unless the
+// system reclaims it autonomously. Three cooperating pieces do that:
+//
+//   - Pins: reader-counted pins on (blob, version), acquired by streaming
+//     readers (BlobReader, s3 gateway GETs) and released on Close. A blob
+//     deletion that races a pinned reader is deferred — queued, not
+//     dropped — until the last pin drains, so an in-flight stream always
+//     serves its full version.
+//
+//   - Retention: per-BLOB version-retention policies (keep-last-N, max
+//     age) evaluated against the version manager. Retired versions stop
+//     being marked live, so their exclusive chunks become sweep fodder
+//     instead of living forever.
+//
+//   - Sweep: an epoch-based mark-and-sweep pass. Mark enumerates the
+//     chunk descriptors of every retained version of every live BLOB
+//     (including descriptors republished by self-optimization repairs)
+//     plus the snapshots of deleted-but-pinned BLOBs; sweep pages through
+//     each provider's chunk inventory and purges unreferenced keys
+//     wholesale. The sweep — not per-operation refcount bookkeeping — is
+//     the source of truth for liveness: stale refcounts left behind by
+//     healed or multi-version BLOBs are corrected here. Chunks flushed by
+//     a still-unpublished writer are protected by a sweep-epoch grace
+//     window: every provider's epoch is advanced before marking, and only
+//     unreferenced chunks whose Put-epoch tag is at least GraceEpochs
+//     windows old are reclaimed.
+//
+// Deletion fast path: DeleteBlob reclaims exactly (per-slot refcount
+// decrements) for single-version BLOBs and conservatively (provider-set
+// union per chunk) for multi-version ones; whatever the fast path cannot
+// prove, the next sweep collects.
+package gc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"blobseer/internal/chunk"
+	"blobseer/internal/instrument"
+	"blobseer/internal/metrics"
+	"blobseer/internal/provider"
+	"blobseer/internal/vmanager"
+)
+
+// ErrPinned reports an operation refused because of outstanding pins.
+var ErrPinned = errors.New("gc: version is pinned")
+
+// Providers is the lifecycle manager's access to the data-provider pool.
+// The in-process plane adapts core.Cluster; an RPC plane adapts
+// rpc.Conn (which carries the same ListChunks/Purge/AdvanceEpoch calls).
+type Providers interface {
+	// IDs lists the providers to sweep.
+	IDs() []string
+	// ListChunks returns one inventory page: up to limit chunks with ID
+	// strictly greater than after, ascending, plus whether more remain.
+	ListChunks(ctx context.Context, providerID string, after chunk.ID, limit int) ([]provider.ChunkInfo, bool, error)
+	// Purge frees chunks wholesale (refcounts ignored) and reports how
+	// many were present and the bytes freed.
+	Purge(ctx context.Context, providerID string, ids []chunk.ID) (int, int64, error)
+	// AdvanceEpoch moves the provider to the next sweep epoch.
+	AdvanceEpoch(ctx context.Context, providerID string) (uint64, error)
+	// Epoch returns the provider's current sweep epoch without
+	// advancing it (dry-run sweeps must not erode the grace window).
+	Epoch(ctx context.Context, providerID string) (uint64, error)
+	// Remove drops one reference of a chunk (the exact-reclaim fast path).
+	Remove(ctx context.Context, providerID string, id chunk.ID) error
+}
+
+// pinKey identifies one pinned (blob, version).
+type pinKey struct {
+	blob, version uint64
+}
+
+// deferredBlob is a deleted BLOB whose chunk reclaim waits for pins to
+// drain. The per-slot snapshot is taken at delete time because the
+// version manager forgets the BLOB's tree the moment it is deleted.
+type deferredBlob struct {
+	versions []vmanager.VersionSlots
+}
+
+// chunkIDs returns the distinct chunk IDs the snapshot references (these
+// must stay marked while the deferral lasts).
+func (d *deferredBlob) chunkIDs() []chunk.ID {
+	seen := map[chunk.ID]bool{}
+	var out []chunk.ID
+	for _, v := range d.versions {
+		for _, s := range v.Slots {
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				out = append(out, s.ID)
+			}
+		}
+	}
+	return out
+}
+
+// SweepReport summarizes one mark-and-sweep pass.
+type SweepReport struct {
+	Time       time.Time
+	Providers  int   // providers swept
+	Failed     int   // providers that could not be listed or purged
+	Scanned    int   // chunks examined across all providers
+	Live       int   // chunks marked live (referenced by a retained version or deferred snapshot)
+	InGrace    int   // unreferenced chunks protected by the write-in-progress grace window
+	Swept      int   // unreferenced chunks reclaimed (counted, not removed, under DryRun)
+	SweptBytes int64 // payload bytes reclaimed
+	DryRun     bool
+}
+
+// RetentionReport summarizes one retention-enforcement pass.
+type RetentionReport struct {
+	Time          time.Time
+	BlobsScanned  int
+	Retired       int // versions retired
+	PinnedSkipped int // candidate versions skipped because a reader pins them
+}
+
+// Stats is a snapshot of the lifecycle manager's gauges and counters.
+type Stats struct {
+	Pins          int   // outstanding reader pins
+	PinnedEntries int   // distinct pinned (blob, version) pairs
+	DeferredBlobs int   // deleted BLOBs queued behind pins
+	SweptChunks   int64 // chunks reclaimed by sweeps so far
+	SweptBytes    int64 // bytes reclaimed by sweeps so far
+	ReclaimedRefs int64 // refcount decrements issued by the deletion fast path
+	RetiredVers   int64 // versions retired by retention so far
+}
+
+// Manager is the storage-lifecycle actor.
+type Manager struct {
+	vm   *vmanager.Manager
+	prov Providers
+	emit instrument.Emitter
+	now  func() time.Time
+
+	grace    uint64 // epochs of write-in-progress protection
+	pageSize int    // ListChunks page size
+	batch    int    // Purge batch size
+
+	mu         sync.Mutex
+	pins       map[pinKey]int
+	pinsByBlob map[uint64]int
+	deferred   map[uint64]*deferredBlob
+
+	sweepMu sync.Mutex // serializes sweeps
+
+	pinned        metrics.Gauge // outstanding pins
+	deferredBlobs metrics.Gauge // queued deletions
+	sweptChunks   metrics.Counter
+	sweptBytes    metrics.Counter
+	reclaimedRefs metrics.Counter
+	retiredVers   metrics.Counter
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithEmitter attaches instrumentation.
+func WithEmitter(e instrument.Emitter) Option {
+	return func(m *Manager) {
+		if e != nil {
+			m.emit = e
+		}
+	}
+}
+
+// WithClock overrides the time source.
+func WithClock(now func() time.Time) Option {
+	return func(m *Manager) {
+		if now != nil {
+			m.now = now
+		}
+	}
+}
+
+// WithGraceEpochs sets how many whole sweep epochs an unreferenced chunk
+// is protected after its last Put (default 1). Grace 0 still protects
+// chunks stored after the sweep advanced the epoch (mid-mark stores),
+// but an unpublished writer that began flushing before the sweep loses
+// its chunks — use 0 only when no writers can be in flight.
+func WithGraceEpochs(n int) Option {
+	return func(m *Manager) {
+		if n >= 0 {
+			m.grace = uint64(n)
+		}
+	}
+}
+
+// WithPageSize sets the ListChunks page size (default 1024).
+func WithPageSize(n int) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.pageSize = n
+		}
+	}
+}
+
+// New returns a lifecycle manager over the version manager and provider
+// pool.
+func New(vm *vmanager.Manager, prov Providers, opts ...Option) *Manager {
+	m := &Manager{
+		vm: vm, prov: prov,
+		emit:       instrument.Nop{},
+		now:        time.Now,
+		grace:      1,
+		pageSize:   1024,
+		batch:      256,
+		pins:       make(map[pinKey]int),
+		pinsByBlob: make(map[uint64]int),
+		deferred:   make(map[uint64]*deferredBlob),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Pin registers a reader on (blob, version): chunk reclaim of the
+// version is deferred until every pin is released. Pinning a deleted
+// BLOB fails with vmanager.ErrDeleted — the reader lost the race and
+// must not start a stream whose chunks are already being reclaimed.
+// Pin implements client.Pinner.
+func (m *Manager) Pin(blob, version uint64) error {
+	// Register first, verify liveness second: a concurrent DeleteBlob
+	// either sees this pin when it snapshots (and defers), or marked the
+	// BLOB deleted before our check (and we fail cleanly). Either way no
+	// window exists where the reader runs unprotected.
+	k := pinKey{blob, version}
+	m.mu.Lock()
+	m.pins[k]++
+	m.pinsByBlob[blob]++
+	m.mu.Unlock()
+	// Verify the exact version, not just the BLOB: a version retired by
+	// retention between the reader's resolve and this pin must fail the
+	// open — its chunks are already sweep fodder.
+	if _, err := m.vm.Version(blob, version); err != nil {
+		m.unpin(k)
+		return err
+	}
+	m.pinned.Inc()
+	return nil
+}
+
+// Unpin releases one pin. When the last pin of a deleted BLOB drains,
+// the queued reclaim runs synchronously — by the time Unpin returns the
+// fast-path refcount decrements have been issued.
+// Unpin implements client.Pinner.
+func (m *Manager) Unpin(blob, version uint64) {
+	if m.unpin(pinKey{blob, version}) {
+		m.pinned.Dec()
+	}
+}
+
+// unpin decrements a pin entry, firing the deferred reclaim on drain.
+// It reports whether a pin was actually released.
+func (m *Manager) unpin(k pinKey) bool {
+	m.mu.Lock()
+	if m.pins[k] == 0 {
+		m.mu.Unlock()
+		return false
+	}
+	m.pins[k]--
+	if m.pins[k] == 0 {
+		delete(m.pins, k)
+	}
+	m.pinsByBlob[k.blob]--
+	drained := m.pinsByBlob[k.blob] == 0
+	if drained {
+		delete(m.pinsByBlob, k.blob)
+	}
+	var def *deferredBlob
+	if drained {
+		if d, ok := m.deferred[k.blob]; ok {
+			def = d
+			delete(m.deferred, k.blob)
+		}
+	}
+	m.mu.Unlock()
+	if def != nil {
+		m.deferredBlobs.Dec()
+		// Under sweepMu for the same reason as DeleteBlob's fast path:
+		// the decrements must not race a sweep purge of the same IDs.
+		m.sweepMu.Lock()
+		m.reclaimVersions(context.Background(), def.versions)
+		m.sweepMu.Unlock()
+		m.emit.Emit(instrument.Event{
+			Time: m.now(), Actor: instrument.ActorGC, Op: instrument.OpEvict, Blob: k.blob,
+		})
+	}
+	return true
+}
+
+// Pinned reports the number of outstanding pins on (blob, version).
+func (m *Manager) Pinned(blob, version uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pins[pinKey{blob, version}]
+}
+
+// DeferredBlobs lists deleted BLOBs whose reclaim is queued behind pins.
+func (m *Manager) DeferredBlobs() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, 0, len(m.deferred))
+	for b := range m.deferred {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DeleteBlob deletes a BLOB through the lifecycle layer: the BLOB is
+// marked deleted immediately (new opens fail), and its chunks are either
+// reclaimed now or — when a reader pins any of its versions — queued
+// until the last pin drains. Every layer (gateway, removal strategies,
+// admin tools) must route deletions here so liveness stays consistent.
+func (m *Manager) DeleteBlob(ctx context.Context, blob uint64) error {
+	// The delete→snapshot handoff must be atomic with respect to the
+	// sweep's mark phase: between DeleteExact (the BLOB leaves the
+	// version manager) and the deferred-snapshot insert, a concurrent
+	// mark would see neither the live versions nor the snapshot and
+	// could purge a pinned reader's chunks. The non-deferred reclaim
+	// stays under sweepMu too: its refcount decrements must not chase a
+	// sweep that already purged the same IDs, or they would debit a
+	// fresh same-content Put of a still-unpublished writer.
+	m.sweepMu.Lock()
+	vs, err := m.vm.DeleteExact(blob)
+	if err != nil {
+		m.sweepMu.Unlock()
+		return err
+	}
+	m.mu.Lock()
+	pinned := m.pinsByBlob[blob] > 0
+	if pinned {
+		m.deferred[blob] = &deferredBlob{versions: vs}
+	}
+	m.mu.Unlock()
+	if pinned {
+		m.sweepMu.Unlock()
+		m.deferredBlobs.Inc()
+		m.emit.Emit(instrument.Event{
+			Time: m.now(), Actor: instrument.ActorGC, Op: instrument.OpDelete, Blob: blob,
+			Err: ErrPinned.Error(),
+		})
+		return nil
+	}
+	m.reclaimVersions(ctx, vs)
+	m.sweepMu.Unlock()
+	m.emit.Emit(instrument.Event{
+		Time: m.now(), Actor: instrument.ActorGC, Op: instrument.OpDelete, Blob: blob,
+	})
+	return nil
+}
+
+// reclaimVersions issues the deletion fast path's refcount decrements.
+// A single-version BLOB reclaims exactly: one decrement per slot
+// occurrence per provider, so repeated-content slots balance the Puts
+// that stored them. A multi-version BLOB shares unchanged slots across
+// versions with no per-version Puts behind them, so exact accounting is
+// impossible from metadata alone; it reclaims conservatively — one
+// decrement per (chunk, provider) over the union of all versions'
+// descriptors, which also covers replicas added by self-optimization
+// repairs — and the next sweep collects whatever refcounts remain.
+func (m *Manager) reclaimVersions(ctx context.Context, vs []vmanager.VersionSlots) {
+	refs := map[chunk.ID]map[string]int{}
+	bump := func(id chunk.ID, prov string, exact bool) {
+		per := refs[id]
+		if per == nil {
+			per = map[string]int{}
+			refs[id] = per
+		}
+		if exact {
+			per[prov]++
+		} else if per[prov] == 0 {
+			per[prov] = 1
+		}
+	}
+	exact := len(vs) == 1
+	for _, v := range vs {
+		for _, d := range v.Slots {
+			for _, p := range d.Providers {
+				bump(d.ID, p, exact)
+			}
+		}
+	}
+	perProv := map[string][]chunk.ID{}
+	var n int64
+	for id, per := range refs {
+		for p, count := range per {
+			for i := 0; i < count; i++ {
+				perProv[p] = append(perProv[p], id)
+				n++
+			}
+		}
+	}
+	m.removeFanout(ctx, perProv)
+	m.reclaimedRefs.Add(n)
+}
+
+// removeFanout issues refcount decrements provider-parallel: each
+// provider's removes run sequentially on one goroutine, so a large
+// reclaim is bounded by the slowest provider, not the sum (the drain
+// path runs inside a reader's Close). Failures are best effort — dead
+// providers keep stale chunks for the sweep.
+func (m *Manager) removeFanout(ctx context.Context, perProv map[string][]chunk.ID) {
+	var wg sync.WaitGroup
+	for p, ids := range perProv {
+		wg.Add(1)
+		go func(p string, ids []chunk.ID) {
+			defer wg.Done()
+			for _, id := range ids {
+				_ = m.prov.Remove(ctx, p, id)
+			}
+		}(p, ids)
+	}
+	wg.Wait()
+}
+
+// ReclaimDescs drops one reference per descriptor per provider — the
+// path for chunks flushed by a writer that never published (the version
+// manager cannot enumerate them). Descriptors are processed as given:
+// callers pass per-slot lists, so repeated content reclaims per slot.
+func (m *Manager) ReclaimDescs(ctx context.Context, descs []chunk.Desc) {
+	perProv := map[string][]chunk.ID{}
+	var n int64
+	for _, d := range descs {
+		for _, p := range d.Providers {
+			perProv[p] = append(perProv[p], d.ID)
+			n++
+		}
+	}
+	// Under sweepMu like every other decrement path: a sweep that just
+	// purged these IDs wholesale must not be chased by decrements that
+	// would debit a fresh same-content Put.
+	m.sweepMu.Lock()
+	m.removeFanout(ctx, perProv)
+	m.sweepMu.Unlock()
+	m.reclaimedRefs.Add(n)
+}
+
+// EnforceRetention evaluates every live BLOB's retention policy at
+// instant now and retires the nominated versions, skipping any version a
+// reader currently pins (the next pass retries it).
+func (m *Manager) EnforceRetention(ctx context.Context, now time.Time) (RetentionReport, error) {
+	rep := RetentionReport{Time: now}
+	var firstErr error
+	for _, blob := range m.vm.Blobs() {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		rep.BlobsScanned++
+		cands, err := m.vm.RetentionCandidates(blob, now)
+		if err != nil || len(cands) == 0 {
+			continue
+		}
+		m.mu.Lock()
+		keep := cands[:0]
+		for _, v := range cands {
+			if m.pins[pinKey{blob, v}] > 0 {
+				rep.PinnedSkipped++
+				continue
+			}
+			keep = append(keep, v)
+		}
+		m.mu.Unlock()
+		if len(keep) == 0 {
+			continue
+		}
+		n, err := m.vm.RetireVersions(blob, keep)
+		if err != nil {
+			// The blob may have been deleted or published to between the
+			// candidate read and the retire; retry next pass.
+			if firstErr == nil && !errors.Is(err, vmanager.ErrDeleted) {
+				firstErr = err
+			}
+			continue
+		}
+		rep.Retired += n
+	}
+	m.retiredVers.Add(int64(rep.Retired))
+	return rep, firstErr
+}
+
+// Sweep runs one mark-and-sweep pass. Mark enumerates the descriptors of
+// every retained version of every live BLOB plus the snapshots of
+// deleted-but-pinned BLOBs; sweep advances every provider's epoch, pages
+// through its chunk inventory and purges unreferenced chunks old enough
+// to clear the grace window. Under dryRun chunks are classified and
+// counted but nothing is removed.
+func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
+	m.sweepMu.Lock()
+	defer m.sweepMu.Unlock()
+
+	rep := SweepReport{Time: m.now(), DryRun: dryRun}
+	var firstErr error
+
+	// Epoch first, mark second: any chunk stored after this point is
+	// tagged with the new epoch and therefore inside the grace window,
+	// so a writer racing the mark phase can never lose its flushes. A
+	// dry-run must not advance the epoch — repeated dry-runs would
+	// silently age real writers out of their grace protection — so it
+	// classifies against the epoch a real sweep would see (current + 1).
+	ids := m.prov.IDs()
+	epochs := make(map[string]uint64, len(ids))
+	for _, id := range ids {
+		var e uint64
+		var err error
+		if dryRun {
+			e, err = m.prov.Epoch(ctx, id)
+			e++
+		} else {
+			e, err = m.prov.AdvanceEpoch(ctx, id)
+		}
+		if err != nil {
+			rep.Failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("gc: advance epoch %s: %w", id, err)
+			}
+			continue
+		}
+		epochs[id] = e
+	}
+
+	marked, err := m.mark(ctx)
+	if err != nil {
+		return rep, err
+	}
+
+	for _, id := range ids {
+		epoch, ok := epochs[id]
+		if !ok {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		rep.Providers++
+		var victims []chunk.ID
+		var victimBytes []int64
+		var after chunk.ID
+		for {
+			page, more, err := m.prov.ListChunks(ctx, id, after, m.pageSize)
+			if err != nil {
+				rep.Failed++
+				rep.Providers--
+				if firstErr == nil {
+					firstErr = fmt.Errorf("gc: list %s: %w", id, err)
+				}
+				victims, victimBytes = nil, nil
+				break
+			}
+			for _, info := range page {
+				rep.Scanned++
+				switch {
+				case marked[info.ID]:
+					rep.Live++
+				case info.Epoch+m.grace >= epoch:
+					// Possibly an unpublished writer's flush: protected
+					// until it has sat unreferenced through the grace
+					// window.
+					rep.InGrace++
+				default:
+					victims = append(victims, info.ID)
+					victimBytes = append(victimBytes, info.Size)
+				}
+			}
+			if len(page) > 0 {
+				after = page[len(page)-1].ID
+			}
+			if !more {
+				break
+			}
+		}
+		if dryRun {
+			// Dry-run reports the classification: what a real sweep
+			// would reclaim.
+			rep.Swept += len(victims)
+			for _, sz := range victimBytes {
+				rep.SweptBytes += sz
+			}
+			continue
+		}
+		// Count reclaimed space from what the purge actually freed, not
+		// from the classification: a failed provider must not report its
+		// victims as swept.
+		for lo := 0; lo < len(victims); lo += m.batch {
+			hi := lo + m.batch
+			if hi > len(victims) {
+				hi = len(victims)
+			}
+			purged, freed, err := m.prov.Purge(ctx, id, victims[lo:hi])
+			rep.Swept += purged
+			rep.SweptBytes += freed
+			if err != nil {
+				rep.Failed++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("gc: purge %s: %w", id, err)
+				}
+				break
+			}
+		}
+	}
+	if !dryRun {
+		m.sweptChunks.Add(int64(rep.Swept))
+		m.sweptBytes.Add(rep.SweptBytes)
+	}
+	m.emit.Emit(instrument.Event{
+		Time: rep.Time, Actor: instrument.ActorGC, Op: instrument.OpSweep,
+		Bytes: rep.SweptBytes, Value: float64(rep.Swept),
+	})
+	return rep, firstErr
+}
+
+// mark enumerates every chunk ID that must survive the sweep: all
+// descriptors reachable from the retained versions of live BLOBs —
+// including descriptors republished by self-optimization repairs, which
+// appear as ordinary versions — plus the delete-time snapshots of
+// deferred (pinned) BLOBs.
+func (m *Manager) mark(ctx context.Context) (map[chunk.ID]bool, error) {
+	marked := make(map[chunk.ID]bool)
+	for _, blob := range m.vm.Blobs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		versions, err := m.vm.Versions(blob)
+		if err != nil {
+			continue // deleted between enumeration and walk
+		}
+		tree, err := m.vm.Tree(blob)
+		if err != nil {
+			continue
+		}
+		for _, v := range versions {
+			if v.Version == 0 {
+				continue
+			}
+			err := tree.Walk(v.Version, 0, tree.Span(), func(_ int64, d chunk.Desc) error {
+				if !d.ID.IsZero() {
+					marked[d.ID] = true
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("gc: mark blob %d v%d: %w", blob, v.Version, err)
+			}
+		}
+	}
+	m.mu.Lock()
+	for _, def := range m.deferred {
+		for _, id := range def.chunkIDs() {
+			marked[id] = true
+		}
+	}
+	pinned := make([]pinKey, 0, len(m.pins))
+	for k := range m.pins {
+		pinned = append(pinned, k)
+	}
+	m.mu.Unlock()
+	// Pinned versions of live BLOBs are marked even when retention has
+	// already retired them (a reader may have pinned between the
+	// retention pass's pin check and the retire): version metadata is
+	// gone but the tree nodes survive retirement, so the walk still
+	// resolves. Pinned versions of deleted BLOBs are covered by the
+	// deferred snapshots above.
+	for _, k := range pinned {
+		if k.version == 0 {
+			continue
+		}
+		tree, err := m.vm.Tree(k.blob)
+		if err != nil {
+			continue // deleted: covered by the deferred snapshot above
+		}
+		err = tree.Walk(k.version, 0, tree.Span(), func(_ int64, d chunk.Desc) error {
+			if !d.ID.IsZero() {
+				marked[d.ID] = true
+			}
+			return nil
+		})
+		if err != nil {
+			// Fail safe, exactly like the live-blob walk: an unmarked
+			// pinned version would let the purge truncate an in-flight
+			// stream.
+			return nil, fmt.Errorf("gc: mark pinned blob %d v%d: %w", k.blob, k.version, err)
+		}
+	}
+	return marked, nil
+}
+
+// Stats returns a snapshot of the lifecycle gauges and counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	entries := len(m.pins)
+	deferred := len(m.deferred)
+	m.mu.Unlock()
+	return Stats{
+		Pins:          int(m.pinned.Value()),
+		PinnedEntries: entries,
+		DeferredBlobs: deferred,
+		SweptChunks:   m.sweptChunks.Value(),
+		SweptBytes:    m.sweptBytes.Value(),
+		ReclaimedRefs: m.reclaimedRefs.Value(),
+		RetiredVers:   m.retiredVers.Value(),
+	}
+}

@@ -43,6 +43,9 @@ const (
 	OpMemUsage   Op = "mem_usage"   // physical parameter sample
 	OpDiskSpace  Op = "disk_space"  // provider storage space sample
 	OpActiveConn Op = "active_conn" // provider concurrent transfer count
+	OpPin        Op = "pin"         // gc: version pinned by a reader
+	OpRetire     Op = "retire"      // gc: version retired by retention
+	OpSweep      Op = "sweep"       // gc: mark-and-sweep chunk reclaim
 )
 
 // Actor names used in events.
@@ -56,6 +59,7 @@ const (
 	ActorSelfConfig   = "selfconfig"
 	ActorSelfOpt      = "selfopt"
 	ActorGateway      = "gateway"
+	ActorGC           = "gc"
 )
 
 // Event is a single instrumentation record. The zero value of optional

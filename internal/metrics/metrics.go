@@ -174,6 +174,12 @@ func (g *Gauge) Add(d float64) {
 	g.mu.Unlock()
 }
 
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
 // Value returns the current value.
 func (g *Gauge) Value() float64 {
 	g.mu.Lock()

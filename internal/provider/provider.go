@@ -37,15 +37,49 @@ type Store interface {
 	Count() int
 }
 
+// ChunkInfo describes one stored chunk from the lifecycle point of view:
+// its payload size, reference count and the sweep epoch of its most
+// recent Put. The garbage collector's mark-and-sweep pass consumes it.
+type ChunkInfo struct {
+	ID    chunk.ID
+	Size  int64
+	Refs  int
+	Epoch uint64
+}
+
+// LifecycleStore is the optional Store extension the storage-lifecycle
+// subsystem (internal/gc) sweeps through: paginated epoch-tagged chunk
+// listing and wholesale purge. Epochs implement write-in-progress
+// protection: the sweeper advances the epoch before marking, then only
+// reclaims unreferenced chunks whose tag is old enough that no
+// unpublished writer can still be about to publish them.
+type LifecycleStore interface {
+	Store
+	// List returns up to limit chunks with ID strictly greater than
+	// after, in ascending ID order, and whether more remain. A zero
+	// after starts from the beginning.
+	List(after chunk.ID, limit int) (page []ChunkInfo, more bool)
+	// Purge frees a chunk wholesale, regardless of its reference count,
+	// returning the payload bytes freed. Purging an absent chunk is not
+	// an error (sweeps race with regular deletes); it frees 0 bytes.
+	Purge(id chunk.ID) (int64, error)
+	// Epoch returns the current sweep epoch.
+	Epoch() uint64
+	// AdvanceEpoch moves to the next sweep epoch and returns it;
+	// subsequent Puts are tagged with the new epoch.
+	AdvanceEpoch() uint64
+}
+
 // memStripes is the number of lock stripes in a MemStore. Chunk IDs are
 // content hashes, so striping on the first ID byte spreads uniformly.
 const memStripes = 32
 
 // memStripe is one independently locked shard of the chunk map.
 type memStripe struct {
-	mu   sync.Mutex
-	data map[chunk.ID][]byte
-	refs map[chunk.ID]int
+	mu     sync.Mutex
+	data   map[chunk.ID][]byte
+	refs   map[chunk.ID]int
+	epochs map[chunk.ID]uint64
 }
 
 // MemStore is an in-memory, reference-counted Store with a byte-capacity
@@ -58,6 +92,7 @@ type MemStore struct {
 	capacity int64
 	used     atomic.Int64
 	count    atomic.Int64
+	epoch    atomic.Uint64
 	stripes  [memStripes]memStripe
 }
 
@@ -68,6 +103,7 @@ func NewMemStore(capacity int64) *MemStore {
 	for i := range s.stripes {
 		s.stripes[i].data = make(map[chunk.ID][]byte)
 		s.stripes[i].refs = make(map[chunk.ID]int)
+		s.stripes[i].epochs = make(map[chunk.ID]uint64)
 	}
 	return s
 }
@@ -84,6 +120,9 @@ func (s *MemStore) Put(id chunk.ID, data []byte) error {
 	defer st.mu.Unlock()
 	if _, ok := st.data[id]; ok {
 		st.refs[id]++
+		// A re-put means a writer is actively using the chunk again:
+		// refresh the epoch tag so the sweep's grace window protects it.
+		st.epochs[id] = s.epoch.Load()
 		return nil
 	}
 	// Reserve the bytes first; undo on overflow. Concurrent puts may
@@ -95,6 +134,7 @@ func (s *MemStore) Put(id chunk.ID, data []byte) error {
 	}
 	st.data[id] = append([]byte(nil), data...)
 	st.refs[id] = 1
+	st.epochs[id] = s.epoch.Load()
 	s.count.Add(1)
 	return nil
 }
@@ -127,9 +167,62 @@ func (s *MemStore) Delete(id chunk.ID) error {
 		s.count.Add(-1)
 		delete(st.data, id)
 		delete(st.refs, id)
+		delete(st.epochs, id)
 	}
 	return nil
 }
+
+// Purge implements LifecycleStore: the chunk is freed wholesale, whatever
+// its reference count — the sweep, not per-operation bookkeeping, is the
+// source of truth for liveness.
+func (s *MemStore) Purge(id chunk.ID) (int64, error) {
+	st := s.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	d, ok := st.data[id]
+	if !ok {
+		return 0, nil
+	}
+	n := int64(len(d))
+	s.used.Add(-n)
+	s.count.Add(-1)
+	delete(st.data, id)
+	delete(st.refs, id)
+	delete(st.epochs, id)
+	return n, nil
+}
+
+// List implements LifecycleStore. Pages are in ascending ID order, so a
+// caller resuming from the last ID of the previous page sees every chunk
+// that existed for the whole scan exactly once.
+func (s *MemStore) List(after chunk.ID, limit int) ([]ChunkInfo, bool) {
+	if limit <= 0 {
+		limit = 1024
+	}
+	var all []ChunkInfo
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for id, d := range st.data {
+			if !after.IsZero() && string(id[:]) <= string(after[:]) {
+				continue
+			}
+			all = append(all, ChunkInfo{ID: id, Size: int64(len(d)), Refs: st.refs[id], Epoch: st.epochs[id]})
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return string(all[i].ID[:]) < string(all[j].ID[:]) })
+	if len(all) > limit {
+		return all[:limit], true
+	}
+	return all, false
+}
+
+// Epoch implements LifecycleStore.
+func (s *MemStore) Epoch() uint64 { return s.epoch.Load() }
+
+// AdvanceEpoch implements LifecycleStore.
+func (s *MemStore) AdvanceEpoch() uint64 { return s.epoch.Add(1) }
 
 // Has reports whether the chunk is present.
 func (s *MemStore) Has(id chunk.ID) bool {
@@ -344,6 +437,87 @@ func (p *Provider) Remove(ctx context.Context, id chunk.ID) error {
 	}
 	p.emit.Emit(ev)
 	return err
+}
+
+// ErrNoLifecycle reports a backing store without mark-and-sweep support.
+var ErrNoLifecycle = errors.New("provider: store does not support lifecycle sweeps")
+
+// lifecycle returns the store's lifecycle extension, if any.
+func (p *Provider) lifecycle() (LifecycleStore, error) {
+	ls, ok := p.st.(LifecycleStore)
+	if !ok {
+		return nil, ErrNoLifecycle
+	}
+	return ls, nil
+}
+
+// ListChunks returns one page of the provider's chunk inventory for the
+// sweep: up to limit chunks with ID > after in ascending order, plus
+// whether more remain.
+func (p *Provider) ListChunks(ctx context.Context, after chunk.ID, limit int) ([]ChunkInfo, bool, error) {
+	if err := p.begin(ctx); err != nil {
+		return nil, false, err
+	}
+	defer p.end()
+	ls, err := p.lifecycle()
+	if err != nil {
+		return nil, false, err
+	}
+	page, more := ls.List(after, limit)
+	return page, more, nil
+}
+
+// PurgeChunks frees the given chunks wholesale (refcounts ignored),
+// returning how many were present and the bytes freed. Only the
+// garbage collector's sweep — which has proven the chunks unreferenced —
+// may call it.
+func (p *Provider) PurgeChunks(ctx context.Context, ids []chunk.ID) (int, int64, error) {
+	if err := p.begin(ctx); err != nil {
+		return 0, 0, err
+	}
+	defer p.end()
+	ls, err := p.lifecycle()
+	if err != nil {
+		return 0, 0, err
+	}
+	var purged int
+	var freed int64
+	for _, id := range ids {
+		n, err := ls.Purge(id)
+		if err != nil {
+			return purged, freed, err
+		}
+		if n > 0 {
+			purged++
+			freed += n
+			p.deletes.Add(1)
+		}
+	}
+	if purged > 0 {
+		p.emit.Emit(instrument.Event{
+			Time: p.now(), Actor: instrument.ActorProvider, Node: p.id,
+			Op: instrument.OpSweep, Bytes: freed, Value: float64(purged),
+		})
+	}
+	return purged, freed, nil
+}
+
+// AdvanceEpoch moves the store to the next sweep epoch and returns it.
+func (p *Provider) AdvanceEpoch() (uint64, error) {
+	ls, err := p.lifecycle()
+	if err != nil {
+		return 0, err
+	}
+	return ls.AdvanceEpoch(), nil
+}
+
+// Epoch returns the store's current sweep epoch.
+func (p *Provider) Epoch() (uint64, error) {
+	ls, err := p.lifecycle()
+	if err != nil {
+		return 0, err
+	}
+	return ls.Epoch(), nil
 }
 
 // Has reports whether the provider holds the chunk.

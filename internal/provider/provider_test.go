@@ -329,3 +329,136 @@ func TestMemStoreUsedInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMemStoreLifecycle covers the sweep surface: epoch tagging on Put
+// and re-Put, paginated listing in ID order, and wholesale purge that
+// ignores refcounts.
+func TestMemStoreLifecycle(t *testing.T) {
+	s := NewMemStore(0)
+	var ids []chunk.ID
+	for i := 0; i < 5; i++ {
+		data := []byte{byte(i), byte(i)}
+		id := chunk.Sum(data)
+		ids = append(ids, id)
+		if err := s.Put(id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := s.Epoch(); e != 0 {
+		t.Fatalf("initial epoch = %d", e)
+	}
+
+	// Pages in ascending ID order, resumable, no dup/no skip.
+	var got []chunk.ID
+	var after chunk.ID
+	pages := 0
+	for {
+		page, more := s.List(after, 2)
+		pages++
+		for i := 1; i < len(page); i++ {
+			if string(page[i-1].ID[:]) >= string(page[i].ID[:]) {
+				t.Fatal("page not in ascending ID order")
+			}
+		}
+		for _, ci := range page {
+			got = append(got, ci.ID)
+			if ci.Epoch != 0 || ci.Refs != 1 || ci.Size != 2 {
+				t.Fatalf("chunk info = %+v", ci)
+			}
+		}
+		if len(page) > 0 {
+			after = page[len(page)-1].ID
+		}
+		if !more {
+			break
+		}
+	}
+	if len(got) != 5 || pages != 3 {
+		t.Fatalf("listed %d chunks over %d pages, want 5 over 3", len(got), pages)
+	}
+
+	// Advancing the epoch tags later puts; a re-put refreshes the tag.
+	if e := s.AdvanceEpoch(); e != 1 {
+		t.Fatalf("epoch after advance = %d", e)
+	}
+	if err := s.Put(ids[0], []byte{0, 0}); err != nil { // re-put: ref 2, epoch 1
+		t.Fatal(err)
+	}
+	page, _ := s.List(chunk.ID{}, 100)
+	for _, ci := range page {
+		switch ci.ID {
+		case ids[0]:
+			if ci.Refs != 2 || ci.Epoch != 1 {
+				t.Fatalf("re-put chunk info = %+v, want refs 2 epoch 1", ci)
+			}
+		default:
+			if ci.Epoch != 0 {
+				t.Fatalf("untouched chunk got epoch %d", ci.Epoch)
+			}
+		}
+	}
+
+	// Purge frees wholesale even with refs > 1; absent purge is a no-op.
+	n, err := s.Purge(ids[0])
+	if err != nil || n != 2 {
+		t.Fatalf("purge freed %d, %v", n, err)
+	}
+	if s.Has(ids[0]) {
+		t.Fatal("purged chunk still present")
+	}
+	n, err = s.Purge(ids[0])
+	if err != nil || n != 0 {
+		t.Fatalf("double purge freed %d, %v", n, err)
+	}
+	if s.Count() != 4 || s.Used() != 8 {
+		t.Fatalf("count=%d used=%d after purge", s.Count(), s.Used())
+	}
+}
+
+// TestProviderLifecycleSurface covers the provider wrappers and the
+// ErrNoLifecycle gate for stores without sweep support.
+func TestProviderLifecycleSurface(t *testing.T) {
+	p := New("p1", "z", 0)
+	ctx := context.Background()
+	ids := make([]chunk.ID, 3)
+	for i := range ids {
+		data := []byte{byte(i), 1, 2}
+		ids[i] = chunk.Sum(data)
+		if err := p.Store(ctx, "u", ids[i], data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page, more, err := p.ListChunks(ctx, chunk.ID{}, 10)
+	if err != nil || more || len(page) != 3 {
+		t.Fatalf("ListChunks = %d chunks more=%v err=%v", len(page), more, err)
+	}
+	if e, err := p.Epoch(); err != nil || e != 0 {
+		t.Fatalf("epoch = %d, %v", e, err)
+	}
+	if e, err := p.AdvanceEpoch(); err != nil || e != 1 {
+		t.Fatalf("advance = %d, %v", e, err)
+	}
+	purged, freed, err := p.PurgeChunks(ctx, ids[:2])
+	if err != nil || purged != 2 || freed != 6 {
+		t.Fatalf("purge = %d chunks %d bytes, %v", purged, freed, err)
+	}
+	if p.Stats().Chunks != 1 {
+		t.Fatalf("chunks after purge = %d", p.Stats().Chunks)
+	}
+	if p.Stats().Deletes != 2 {
+		t.Fatalf("deletes counter = %d, want 2", p.Stats().Deletes)
+	}
+
+	// A store without lifecycle support gates cleanly.
+	plain := New("p2", "z", 0, WithStore(plainStore{Store: NewMemStore(0)}))
+	if _, _, err := plain.ListChunks(ctx, chunk.ID{}, 10); !errors.Is(err, ErrNoLifecycle) {
+		t.Fatalf("want ErrNoLifecycle, got %v", err)
+	}
+	if _, err := plain.AdvanceEpoch(); !errors.Is(err, ErrNoLifecycle) {
+		t.Fatalf("want ErrNoLifecycle, got %v", err)
+	}
+}
+
+// plainStore hides the backing store's lifecycle extension by
+// promoting only the base Store interface.
+type plainStore struct{ Store }

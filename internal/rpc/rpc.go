@@ -46,6 +46,35 @@ type StatsReply struct {
 	Stats provider.Stats
 }
 
+// ListChunksArgs is the wire form of one chunk-inventory page request.
+type ListChunksArgs struct {
+	After chunk.ID // resume after this ID (zero = from the start)
+	Limit int      // page size (≤ 0 = server default)
+}
+
+// ListChunksReply carries one inventory page. More reports whether
+// another page follows (resume with After = last returned ID).
+type ListChunksReply struct {
+	Chunks []provider.ChunkInfo
+	More   bool
+}
+
+// PurgeArgs is the wire form of a bulk wholesale chunk removal.
+type PurgeArgs struct {
+	IDs []chunk.ID
+}
+
+// PurgeReply reports how many chunks were present and the bytes freed.
+type PurgeReply struct {
+	Purged int
+	Freed  int64
+}
+
+// EpochReply carries a provider's sweep epoch.
+type EpochReply struct {
+	Epoch uint64
+}
+
 // ProviderService exports one data provider over net/rpc.
 type ProviderService struct {
 	P *provider.Provider
@@ -77,6 +106,39 @@ func (s *ProviderService) Remove(args *RemoveArgs, _ *struct{}) error {
 func (s *ProviderService) Stats(_ *struct{}, reply *StatsReply) error {
 	reply.Stats = s.P.Stats()
 	return nil
+}
+
+// ListChunks serves one page of the provider's chunk inventory to the
+// garbage collector's sweep.
+func (s *ProviderService) ListChunks(args *ListChunksArgs, reply *ListChunksReply) error {
+	page, more, err := s.P.ListChunks(context.Background(), args.After, args.Limit)
+	if err != nil {
+		return err
+	}
+	reply.Chunks, reply.More = page, more
+	return nil
+}
+
+// Purge removes unreferenced chunks wholesale on behalf of the sweep.
+func (s *ProviderService) Purge(args *PurgeArgs, reply *PurgeReply) error {
+	purged, freed, err := s.P.PurgeChunks(context.Background(), args.IDs)
+	reply.Purged, reply.Freed = purged, freed
+	return err
+}
+
+// AdvanceEpoch moves the provider to the next sweep epoch.
+func (s *ProviderService) AdvanceEpoch(_ *struct{}, reply *EpochReply) error {
+	e, err := s.P.AdvanceEpoch()
+	reply.Epoch = e
+	return err
+}
+
+// Epoch reports the provider's current sweep epoch without advancing it
+// (dry-run sweeps classify against it).
+func (s *ProviderService) Epoch(_ *struct{}, reply *EpochReply) error {
+	e, err := s.P.Epoch()
+	reply.Epoch = e
+	return err
 }
 
 // Server hosts one provider on a TCP listener.
@@ -192,6 +254,42 @@ func (c *Conn) Stats() (provider.Stats, error) {
 	var reply StatsReply
 	err := c.c.Call("Provider.Stats", &struct{}{}, &reply)
 	return reply.Stats, err
+}
+
+// ListChunks fetches one page of the remote provider's chunk inventory.
+func (c *Conn) ListChunks(ctx context.Context, after chunk.ID, limit int) ([]provider.ChunkInfo, bool, error) {
+	var reply ListChunksReply
+	if err := c.call(ctx, "Provider.ListChunks", &ListChunksArgs{After: after, Limit: limit}, &reply); err != nil {
+		return nil, false, err
+	}
+	return reply.Chunks, reply.More, nil
+}
+
+// Purge removes unreferenced chunks wholesale on the remote provider.
+func (c *Conn) Purge(ctx context.Context, ids []chunk.ID) (int, int64, error) {
+	var reply PurgeReply
+	if err := c.call(ctx, "Provider.Purge", &PurgeArgs{IDs: ids}, &reply); err != nil {
+		return 0, 0, err
+	}
+	return reply.Purged, reply.Freed, nil
+}
+
+// AdvanceEpoch moves the remote provider to the next sweep epoch.
+func (c *Conn) AdvanceEpoch(ctx context.Context) (uint64, error) {
+	var reply EpochReply
+	if err := c.call(ctx, "Provider.AdvanceEpoch", &struct{}{}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Epoch, nil
+}
+
+// Epoch reads the remote provider's current sweep epoch.
+func (c *Conn) Epoch(ctx context.Context) (uint64, error) {
+	var reply EpochReply
+	if err := c.call(ctx, "Provider.Epoch", &struct{}{}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Epoch, nil
 }
 
 // Close closes the connection.

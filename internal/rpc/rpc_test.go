@@ -161,3 +161,61 @@ func TestDirectoryRegisterReplaces(t *testing.T) {
 		t.Fatal("chunk not on replacement provider")
 	}
 }
+
+// TestLifecycleRPCs round-trips the sweep surface over TCP: paginated
+// chunk listing, epoch advance and bulk purge.
+func TestLifecycleRPCs(t *testing.T) {
+	p, srv := startProvider(t, "p1")
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var ids []chunk.ID
+	for i := 0; i < 5; i++ {
+		data := bytes.Repeat([]byte{byte(i)}, 8)
+		ids = append(ids, chunk.Sum(data))
+		if err := conn.Store(bg, "u", ids[i], data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Page through the inventory, 2 at a time.
+	var got []chunk.ID
+	var after chunk.ID
+	for {
+		page, more, err := conn.ListChunks(bg, after, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ci := range page {
+			got = append(got, ci.ID)
+			if ci.Size != 8 || ci.Refs != 1 {
+				t.Fatalf("chunk info over rpc = %+v", ci)
+			}
+		}
+		if len(page) > 0 {
+			after = page[len(page)-1].ID
+		}
+		if !more {
+			break
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("listed %d chunks over rpc, want 5", len(got))
+	}
+
+	e, err := conn.AdvanceEpoch(bg)
+	if err != nil || e != 1 {
+		t.Fatalf("advance epoch over rpc = %d, %v", e, err)
+	}
+
+	purged, freed, err := conn.Purge(bg, ids[:3])
+	if err != nil || purged != 3 || freed != 24 {
+		t.Fatalf("purge over rpc = %d chunks %d bytes, %v", purged, freed, err)
+	}
+	if p.Stats().Chunks != 2 {
+		t.Fatalf("chunks after rpc purge = %d, want 2", p.Stats().Chunks)
+	}
+}

@@ -34,7 +34,6 @@ import (
 	"sync"
 	"time"
 
-	"blobseer/internal/chunk"
 	"blobseer/internal/client"
 	"blobseer/internal/core"
 	"blobseer/internal/instrument"
@@ -384,13 +383,13 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket
 	}
 	// abandon aborts the stream (cancel keeps Close from publishing a
 	// version that would immediately be reclaimed) and drops the blob.
-	// Chunks already flushed by the writer were never published, so
-	// VM.Delete inside reclaim cannot see them — they are removed from
-	// their providers via the writer's own descriptors.
+	// Chunks already flushed by the writer were never published, so the
+	// lifecycle manager cannot enumerate them from metadata — they are
+	// reclaimed via the writer's own per-slot descriptors.
 	abandon := func() {
 		cancel()
 		_ = bw.Close()
-		g.reclaimDescs(bw.StoredChunks())
+		g.cluster.GC.ReclaimDescs(context.Background(), bw.StoredChunks())
 		g.reclaim(info.ID)
 	}
 	// Reading one byte past the limit distinguishes an oversized body
@@ -608,39 +607,13 @@ func (g *Gateway) deleteObject(w http.ResponseWriter, user, bucket, key string) 
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// reclaim deletes a blob's published chunks from the providers, one
-// removed reference per slot. Gateway blobs have exactly one published
-// version (each PUT creates a fresh blob), so a per-slot walk of that
-// version balances provider refcounts exactly — VM.Delete's
-// ID-deduplicated descs would under-count slots with repeated content.
+// reclaim hands a blob's deletion to the storage-lifecycle manager: a
+// single-version gateway blob reclaims exactly (one removed reference
+// per slot, so repeated-content slots balance), and a version pinned by
+// an in-flight streaming GET defers reclamation until the reader closes
+// instead of truncating the response mid-stream.
 func (g *Gateway) reclaim(blob uint64) {
-	var descs []chunk.Desc
-	if latest, err := g.cluster.VM.Latest(blob); err == nil && latest.Version != 0 {
-		if tree, err := g.cluster.VM.Tree(blob); err == nil {
-			_ = tree.Walk(latest.Version, 0, tree.Span(), func(_ int64, d chunk.Desc) error {
-				if !d.ID.IsZero() {
-					descs = append(descs, d)
-				}
-				return nil
-			})
-		}
-	}
-	if _, err := g.cluster.VM.Delete(blob); err != nil {
-		return
-	}
-	g.reclaimDescs(descs)
-}
-
-// reclaimDescs removes the given chunk replicas from their providers —
-// the path for flushed-but-unpublished chunks of an abandoned PUT, which
-// VM.Delete cannot enumerate.
-func (g *Gateway) reclaimDescs(descs []chunk.Desc) {
-	pool := g.cluster.Pool()
-	for _, d := range descs {
-		for _, p := range d.Providers {
-			_ = pool.Remove(context.Background(), p, d.ID)
-		}
-	}
+	_ = g.cluster.GC.DeleteBlob(context.Background(), blob)
 }
 
 // Buckets returns the bucket names (diagnostics).

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"blobseer/internal/client"
 	"blobseer/internal/core"
@@ -735,5 +736,100 @@ func TestPutStreamsIncrementalBody(t *testing.T) {
 	got, _ := io.ReadAll(r.Body)
 	if !bytes.Equal(got, payload[1000:]) {
 		t.Fatalf("range after chunked put: %d bytes", len(got))
+	}
+}
+
+// gatewayChunks sums distinct chunks across the gateway's providers.
+func gatewayChunks(g *Gateway) int {
+	n := 0
+	for _, id := range g.cluster.Providers() {
+		if p, ok := g.cluster.Provider(id); ok {
+			n += p.Stats().Chunks
+		}
+	}
+	return n
+}
+
+// TestStreamingGetSurvivesConcurrentDelete: a streaming GET pins its
+// version, so an object DELETE racing the download defers chunk reclaim
+// until the response finishes — the client receives the full original
+// body, and the space is reclaimed once the stream closes.
+func TestStreamingGetSurvivesConcurrentDelete(t *testing.T) {
+	g, srv := newGateway(t, WithChunkSize(4<<10))
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	payload := bytes.Repeat([]byte("reader-vs-delete!"), 64<<10) // ~1 MiB
+	if resp := do(t, http.MethodPut, srv.URL+"/b/k", payload); resp.StatusCode != 200 {
+		t.Fatalf("put: %d", resp.StatusCode)
+	}
+
+	resp := do(t, http.MethodGet, srv.URL+"/b/k", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("get: %d", resp.StatusCode)
+	}
+	// With a ~1 MiB body the handler is still mid-stream after 100
+	// bytes: the socket buffers cannot hold the rest.
+	head := make([]byte, 100)
+	if _, err := io.ReadFull(resp.Body, head); err != nil {
+		t.Fatal(err)
+	}
+	if dresp := do(t, http.MethodDelete, srv.URL+"/b/k", nil); dresp.StatusCode != 204 {
+		t.Fatalf("delete during stream: %d", dresp.StatusCode)
+	}
+	// The object is gone for new requests...
+	if gresp := do(t, http.MethodGet, srv.URL+"/b/k", nil); gresp.StatusCode != 404 {
+		t.Fatalf("get after delete: %d", gresp.StatusCode)
+	}
+	// ...but the in-flight stream still serves the full original body.
+	rest, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read rest of deleted object: %v", err)
+	}
+	if !bytes.Equal(append(head, rest...), payload) {
+		t.Fatalf("stream truncated or corrupted: got %d bytes, want %d",
+			len(head)+len(rest), len(payload))
+	}
+	// Once the handler closes its reader the deferred reclaim runs.
+	deadline := time.Now().Add(5 * time.Second)
+	for gatewayChunks(g) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("chunks not reclaimed after stream closed: %d left", gatewayChunks(g))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStreamingGetSurvivesConcurrentOverwrite: overwriting the object
+// mid-download replaces the mapping and reclaims the old blob through
+// the lifecycle layer — which must wait for the pinned stream.
+func TestStreamingGetSurvivesConcurrentOverwrite(t *testing.T) {
+	_, srv := newGateway(t, WithChunkSize(4<<10))
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+	oldBody := bytes.Repeat([]byte("old-version-data!"), 64<<10)
+	newBody := bytes.Repeat([]byte("NEW"), 1024)
+	if resp := do(t, http.MethodPut, srv.URL+"/b/k", oldBody); resp.StatusCode != 200 {
+		t.Fatalf("put: %d", resp.StatusCode)
+	}
+
+	resp := do(t, http.MethodGet, srv.URL+"/b/k", nil)
+	head := make([]byte, 100)
+	if _, err := io.ReadFull(resp.Body, head); err != nil {
+		t.Fatal(err)
+	}
+	if presp := do(t, http.MethodPut, srv.URL+"/b/k", newBody); presp.StatusCode != 200 {
+		t.Fatalf("overwrite during stream: %d", presp.StatusCode)
+	}
+	rest, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read rest of overwritten object: %v", err)
+	}
+	if !bytes.Equal(append(head, rest...), oldBody) {
+		t.Fatalf("stream served mixed versions: got %d bytes, want %d",
+			len(head)+len(rest), len(oldBody))
+	}
+	// The new version is what later GETs see.
+	resp = do(t, http.MethodGet, srv.URL+"/b/k", nil)
+	got, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(got, newBody) {
+		t.Fatal("overwrite not visible to new readers")
 	}
 }

@@ -334,13 +334,23 @@ func (s TemporaryStrategy) Candidates(now time.Time) []uint64 {
 	return out
 }
 
+// BlobDeleter routes BLOB deletion through the storage-lifecycle layer
+// (internal/gc): reader pins are honoured (reclaim of a pinned version
+// is deferred, not dropped) and healed descriptors reclaim through the
+// sweep instead of the legacy per-descriptor decrements.
+type BlobDeleter interface {
+	DeleteBlob(ctx context.Context, blob uint64) error
+}
+
 // Reaper applies removal strategies: it deletes nominated BLOBs from the
-// version manager and reclaims their chunks from providers.
+// version manager and reclaims their chunks from providers — directly,
+// or through a BlobDeleter when one is routed in.
 type Reaper struct {
 	vm         *vmanager.Manager
 	pool       Pool
 	strategies []Strategy
 	emit       instrument.Emitter
+	deleter    BlobDeleter
 
 	mu      sync.Mutex
 	removed []uint64
@@ -353,6 +363,16 @@ func NewReaper(vm *vmanager.Manager, pool Pool, emit instrument.Emitter, strateg
 	}
 	return &Reaper{vm: vm, pool: pool, strategies: strategies, emit: emit}
 }
+
+// RouteDeletes makes the reaper delete through d instead of the legacy
+// vmanager.Delete + per-descriptor removal path. The legacy path
+// under-reclaims BLOBs with repeated or healed (republished) chunks,
+// ignores reader pins, and issues refcount decrements unserialized
+// against gc sweeps — on a cluster running a gc.Runner it MUST NOT be
+// used (its decrements can race a wholesale purge and debit an
+// unrelated writer's fresh chunk). Use core.Cluster.NewReaper, which
+// routes automatically.
+func (r *Reaper) RouteDeletes(d BlobDeleter) { r.deleter = d }
 
 // Run performs one reaping pass, returning the BLOBs removed.
 func (r *Reaper) Run(now time.Time) ([]uint64, error) {
@@ -382,20 +402,32 @@ func (r *Reaper) RunContext(ctx context.Context, now time.Time) ([]uint64, error
 			}
 			break
 		}
-		descs, err := r.vm.Delete(blob)
-		if err != nil {
-			if errors.Is(err, vmanager.ErrDeleted) {
+		if r.deleter != nil {
+			if err := r.deleter.DeleteBlob(ctx, blob); err != nil {
+				if errors.Is(err, vmanager.ErrDeleted) {
+					continue
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
 				continue
 			}
-			if firstErr == nil {
-				firstErr = err
+		} else {
+			descs, err := r.vm.Delete(blob)
+			if err != nil {
+				if errors.Is(err, vmanager.ErrDeleted) {
+					continue
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
 			}
-			continue
-		}
-		for _, d := range descs {
-			for _, p := range d.Providers {
-				// Best effort: dead providers keep stale chunks.
-				_ = r.pool.Remove(ctx, p, d.ID)
+			for _, d := range descs {
+				for _, p := range d.Providers {
+					// Best effort: dead providers keep stale chunks.
+					_ = r.pool.Remove(ctx, p, d.ID)
+				}
 			}
 		}
 		removed = append(removed, blob)

@@ -28,7 +28,22 @@ var (
 	ErrBadVersion    = errors.New("vmanager: version was never assigned")
 	ErrDoublePublish = errors.New("vmanager: version already published or pending")
 	ErrDeleted       = errors.New("vmanager: blob deleted")
+	ErrRetireLatest  = errors.New("vmanager: cannot retire the latest version")
 )
+
+// Retention is a per-BLOB version-retention policy, evaluated by the
+// garbage collector. The zero value keeps every version forever (the
+// classic BlobSeer model). Each knob independently nominates candidates:
+// KeepLast > 0 nominates everything beyond the newest N published
+// versions, MaxAge > 0 nominates versions published longer ago than
+// MaxAge. The latest published version is never nominated.
+type Retention struct {
+	KeepLast int           // keep at most the newest N published versions (0 = all)
+	MaxAge   time.Duration // retire versions older than this (0 = no age bound)
+}
+
+// zero reports whether the policy retains everything.
+func (r Retention) zero() bool { return r.KeepLast <= 0 && r.MaxAge <= 0 }
 
 // BlobInfo describes a BLOB.
 type BlobInfo struct {
@@ -62,15 +77,16 @@ type pendingPub struct {
 }
 
 type blobState struct {
-	info     BlobInfo
-	tree     *blobmeta.Tree
-	nextVer  uint64           // next version to assign (first assigned is 1)
-	applied  uint64           // highest published (contiguous) version
-	tail     int64            // end offset over all *assigned* writes
-	ends     map[uint64]int64 // assigned version -> end offset of its write
-	queued   map[uint64]pendingPub
-	versions map[uint64]VersionMeta
-	deleted  bool
+	info      BlobInfo
+	tree      *blobmeta.Tree
+	nextVer   uint64           // next version to assign (first assigned is 1)
+	applied   uint64           // highest published (contiguous) version
+	tail      int64            // end offset over all *assigned* writes
+	ends      map[uint64]int64 // assigned version -> end offset of its write
+	queued    map[uint64]pendingPub
+	versions  map[uint64]VersionMeta
+	retention Retention
+	deleted   bool
 }
 
 // Manager is the version-manager actor.
@@ -368,9 +384,170 @@ func (m *Manager) Tree(blob uint64) (*blobmeta.Tree, error) {
 	return st.tree, nil
 }
 
-// Delete marks a BLOB deleted and returns the distinct chunk descriptors
-// reachable from all its published versions so the caller can reclaim
-// provider space (used by the self-optimization removal strategies).
+// SetRetention installs the BLOB's version-retention policy. The zero
+// Retention restores keep-everything.
+func (m *Manager) SetRetention(blob uint64, r Retention) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.state(blob)
+	if err != nil {
+		return err
+	}
+	st.retention = r
+	return nil
+}
+
+// RetentionOf returns the BLOB's version-retention policy.
+func (m *Manager) RetentionOf(blob uint64) (Retention, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.state(blob)
+	if err != nil {
+		return Retention{}, err
+	}
+	return st.retention, nil
+}
+
+// RetentionCandidates returns the published versions the BLOB's policy
+// nominates for retirement at instant now, in ascending order. The
+// latest published version and the empty version 0 are never nominated.
+// Callers (the garbage collector) filter out pinned versions before
+// retiring.
+func (m *Manager) RetentionCandidates(blob uint64, now time.Time) ([]uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.state(blob)
+	if err != nil {
+		return nil, err
+	}
+	if st.retention.zero() {
+		return nil, nil
+	}
+	published := make([]uint64, 0, len(st.versions))
+	for v := range st.versions {
+		if v > 0 && v <= st.applied {
+			published = append(published, v)
+		}
+	}
+	sort.Slice(published, func(i, j int) bool { return published[i] < published[j] })
+	nominated := map[uint64]bool{}
+	if n := st.retention.KeepLast; n > 0 && len(published) > n {
+		for _, v := range published[:len(published)-n] {
+			nominated[v] = true
+		}
+	}
+	if age := st.retention.MaxAge; age > 0 {
+		cutoff := now.Add(-age)
+		for _, v := range published {
+			if v != st.applied && st.versions[v].Published.Before(cutoff) {
+				nominated[v] = true
+			}
+		}
+	}
+	delete(nominated, st.applied)
+	out := make([]uint64, 0, len(nominated))
+	for v := range nominated {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// RetireVersions removes the metadata of the given published versions,
+// making them unreadable and — once the next sweep runs — reclaimable:
+// chunks referenced only by retired versions stop being marked live.
+// The latest published version cannot be retired; unknown versions fail
+// with ErrBadVersion. Metadata-tree nodes of retired versions stay in
+// the metadata store (chunk space, not node space, is what grows without
+// bound). Returns how many versions were retired.
+func (m *Manager) RetireVersions(blob uint64, vers []uint64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.state(blob)
+	if err != nil {
+		return 0, err
+	}
+	// Validate the whole batch first so a bad entry retires nothing.
+	for _, v := range vers {
+		if v == st.applied {
+			return 0, fmt.Errorf("%w: %d", ErrRetireLatest, v)
+		}
+		if _, ok := st.versions[v]; !ok || v == 0 {
+			return 0, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		}
+	}
+	for _, v := range vers {
+		delete(st.versions, v)
+	}
+	if len(vers) > 0 {
+		m.emit.Emit(instrument.Event{
+			Time: m.now(), Actor: instrument.ActorVManager, Op: instrument.OpRetire,
+			Blob: blob, Value: float64(len(vers)),
+		})
+	}
+	return len(vers), nil
+}
+
+// VersionSlots lists one published version's per-slot chunk descriptors
+// (holes omitted) in ascending slot order.
+type VersionSlots struct {
+	Version uint64
+	Slots   []chunk.Desc
+}
+
+// DeleteExact marks the BLOB deleted like Delete, but returns every
+// retained version's per-slot descriptors instead of one deduplicated
+// set: a slot whose content repeats elsewhere appears once per slot, so
+// a caller reclaiming a single-version BLOB can balance provider
+// refcounts exactly (the garbage collector's fast path; multi-version
+// BLOBs share unchanged slots across versions and are reclaimed by the
+// sweep instead).
+func (m *Manager) DeleteExact(blob uint64) ([]VersionSlots, error) {
+	m.mu.Lock()
+	st, err := m.state(blob)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	st.deleted = true
+	tree := st.tree
+	versions := make([]uint64, 0, len(st.versions))
+	for v := range st.versions {
+		if v > 0 {
+			versions = append(versions, v)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+
+	out := make([]VersionSlots, 0, len(versions))
+	for _, v := range versions {
+		vs := VersionSlots{Version: v}
+		err := tree.Walk(v, 0, tree.Span(), func(_ int64, d chunk.Desc) error {
+			if !d.ID.IsZero() {
+				vs.Slots = append(vs.Slots, d)
+			}
+			return nil
+		})
+		if err != nil {
+			return out, err
+		}
+		out = append(out, vs)
+	}
+	m.emit.Emit(instrument.Event{
+		Time: m.now(), Actor: instrument.ActorVManager, Op: instrument.OpDelete, Blob: blob,
+	})
+	return out, nil
+}
+
+// Delete marks a BLOB deleted and returns the *distinct* chunk
+// descriptors reachable from all its published versions so the caller
+// can reclaim provider space (used by the self-optimization removal
+// strategies). Descriptors are deduplicated by chunk ID: a chunk whose
+// content repeats across slots or versions is returned once, so callers
+// that reclaim by decrementing per-descriptor under-release repeated
+// content — use DeleteExact (single-version) or the gc sweep when exact
+// reclamation matters.
 func (m *Manager) Delete(blob uint64) ([]chunk.Desc, error) {
 	m.mu.Lock()
 	st, err := m.state(blob)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"blobseer/internal/blobmeta"
 	"blobseer/internal/chunk"
@@ -312,5 +313,148 @@ func TestEventsEmitted(t *testing.T) {
 		if !want[op] {
 			t.Errorf("missing event %s", op)
 		}
+	}
+}
+
+// TestDeleteDedupsByChunkID pins Delete's documented behavior: the
+// reclaim set is deduplicated by chunk ID, so slots repeating the same
+// content — within one version or across versions — appear once. Callers
+// needing per-slot exactness use DeleteExact.
+func TestDeleteDedupsByChunkID(t *testing.T) {
+	m := newMgr(t)
+	info, _ := m.Create("a", 64, false)
+	t1, _ := m.AssignWrite(info.ID, "a", 0, 128)
+	// Two slots, identical content: one Desc after dedup.
+	if err := m.Publish(info.ID, t1.Version, "a",
+		map[int64]chunk.Desc{0: desc("same"), 1: desc("same")}); err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := m.AssignWrite(info.ID, "a", 0, 64)
+	// A second version rewrites slot 0 with the same content again.
+	if err := m.Publish(info.ID, t2.Version, "a",
+		map[int64]chunk.Desc{0: desc("same")}); err != nil {
+		t.Fatal(err)
+	}
+	descs, err := m.Delete(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 1 {
+		t.Fatalf("dedup reclaim set = %d descs, want 1", len(descs))
+	}
+}
+
+// TestDeleteExactPerSlot: DeleteExact returns per-version per-slot
+// descriptors, so repeated content appears once per slot and a
+// single-version caller can balance refcounts exactly.
+func TestDeleteExactPerSlot(t *testing.T) {
+	m := newMgr(t)
+	info, _ := m.Create("a", 64, false)
+	t1, _ := m.AssignWrite(info.ID, "a", 0, 128)
+	if err := m.Publish(info.ID, t1.Version, "a",
+		map[int64]chunk.Desc{0: desc("same"), 1: desc("same")}); err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := m.AssignWrite(info.ID, "a", 128, 64)
+	if err := m.Publish(info.ID, t2.Version, "a",
+		map[int64]chunk.Desc{2: desc("tail")}); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := m.DeleteExact(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("versions = %d, want 2", len(vs))
+	}
+	if vs[0].Version != 1 || len(vs[0].Slots) != 2 {
+		t.Fatalf("v1 = %+v, want 2 slots (repeated content kept per slot)", vs[0])
+	}
+	if vs[0].Slots[0].ID != vs[0].Slots[1].ID {
+		t.Fatal("v1 slots should repeat the same chunk ID")
+	}
+	// v2 inherits v1's two slots and adds one.
+	if vs[1].Version != 2 || len(vs[1].Slots) != 3 {
+		t.Fatalf("v2 = %+v, want 3 slots", vs[1])
+	}
+	if _, err := m.Info(info.ID); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("want ErrDeleted, got %v", err)
+	}
+	if _, err := m.DeleteExact(info.ID); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("double DeleteExact: want ErrDeleted, got %v", err)
+	}
+}
+
+// TestRetentionCandidatesAndRetire covers the policy evaluation and the
+// retire operation's guard rails.
+func TestRetentionCandidatesAndRetire(t *testing.T) {
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	m := New(blobmeta.NewMemStore("m1", nil, nil), WithSpan(1024),
+		WithClock(func() time.Time { return now }))
+	info, _ := m.Create("a", 64, false)
+	for i := 0; i < 4; i++ {
+		tk, _ := m.AssignWrite(info.ID, "a", 0, 64)
+		if err := m.Publish(info.ID, tk.Version, "a",
+			map[int64]chunk.Desc{0: desc(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(time.Minute)
+	}
+
+	// No policy: no candidates.
+	cands, err := m.RetentionCandidates(info.ID, now)
+	if err != nil || cands != nil {
+		t.Fatalf("no-policy candidates = %v, %v", cands, err)
+	}
+
+	if err := m.SetRetention(info.ID, Retention{KeepLast: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := m.RetentionOf(info.ID); r.KeepLast != 2 {
+		t.Fatalf("retention = %+v", r)
+	}
+	cands, err = m.RetentionCandidates(info.ID, now)
+	if err != nil || len(cands) != 2 || cands[0] != 1 || cands[1] != 2 {
+		t.Fatalf("keep-last candidates = %v, %v", cands, err)
+	}
+
+	// Max-age nominates everything older than the cutoff except latest.
+	if err := m.SetRetention(info.ID, Retention{MaxAge: 90 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	cands, err = m.RetentionCandidates(info.ID, now)
+	if err != nil || len(cands) != 3 {
+		t.Fatalf("max-age candidates = %v, %v", cands, err)
+	}
+
+	// Guard rails: the latest version and unknown versions refuse.
+	if _, err := m.RetireVersions(info.ID, []uint64{4}); !errors.Is(err, ErrRetireLatest) {
+		t.Fatalf("retire latest: %v", err)
+	}
+	if _, err := m.RetireVersions(info.ID, []uint64{99}); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("retire unknown: %v", err)
+	}
+	// A bad entry poisons the whole batch.
+	if _, err := m.RetireVersions(info.ID, []uint64{1, 99}); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("poisoned batch: %v", err)
+	}
+	if _, err := m.Version(info.ID, 1); err != nil {
+		t.Fatalf("v1 must survive the failed batch: %v", err)
+	}
+
+	n, err := m.RetireVersions(info.ID, []uint64{1, 2})
+	if err != nil || n != 2 {
+		t.Fatalf("retire = %d, %v", n, err)
+	}
+	if _, err := m.Version(info.ID, 1); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("retired version readable: %v", err)
+	}
+	if vm, err := m.Latest(info.ID); err != nil || vm.Version != 4 {
+		t.Fatalf("latest after retire = %+v, %v", vm, err)
+	}
+	// Versions lists only the retained ones (plus the v0 sentinel).
+	vers, _ := m.Versions(info.ID)
+	if len(vers) != 3 {
+		t.Fatalf("versions after retire = %v", vers)
 	}
 }
