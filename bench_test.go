@@ -393,6 +393,19 @@ func (c delayConn) Fetch(ctx context.Context, user string, id chunk.ID) ([]byte,
 	return c.inner.Fetch(ctx, user, id)
 }
 
+// FetchBuf forwards the buffered-fetch extension, so the modeled planes
+// keep the production read path's pooled chunk buffers.
+func (c delayConn) FetchBuf(ctx context.Context, user string, id chunk.ID, buf []byte) ([]byte, error) {
+	bf, ok := c.inner.(client.BufferedFetcher)
+	if !ok {
+		return c.Fetch(ctx, user, id)
+	}
+	if err := sleepCtx(ctx, c.rtt); err != nil {
+		return nil, err
+	}
+	return bf.FetchBuf(ctx, user, id, buf)
+}
+
 // benchPlanes is the provider-RTT grid the client benchmarks run over:
 // the raw in-process plane (hashing-bound) and a modeled LAN plane
 // (latency-bound, where replica fan-out pays off).
@@ -551,6 +564,7 @@ func BenchmarkClientStreamWrite(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.SetBytes(int64(len(payload)))
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if mode == "buffered" {
@@ -608,6 +622,7 @@ func BenchmarkClientStreamRead(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.SetBytes(int64(len(payload)))
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if mode == "buffered" {

@@ -138,6 +138,14 @@ type chunkFuture struct {
 	err    error
 }
 
+// holeFuture is the shared resolved future of every hole slot (zeros):
+// holes carry no data and need no per-slot allocation.
+var holeFuture = func() *chunkFuture {
+	f := &chunkFuture{done: make(chan struct{}), cancel: func() {}}
+	close(f.done)
+	return f
+}()
+
 // BlobReader streams one version window. It implements
 // io.ReadSeekCloser and io.WriterTo. Not safe for concurrent use.
 type BlobReader struct {
@@ -185,9 +193,7 @@ func (r *BlobReader) ensure(idx int64) *chunkFuture {
 		}
 		d := r.descs[i-r.loIdx]
 		if d.ID.IsZero() {
-			f := &chunkFuture{done: make(chan struct{}), cancel: func() {}}
-			close(f.done) // hole: zeros
-			r.futures[i] = f
+			r.futures[i] = holeFuture // hole: zeros
 			continue
 		}
 		fctx, fcancel := context.WithCancel(r.ctx)
@@ -205,9 +211,26 @@ func (r *BlobReader) ensure(idx int64) *chunkFuture {
 			// prefetch window bounds in-flight transfers, not just the map.
 			f.cancel()
 			delete(r.futures, i)
+			r.donate(f)
 		}
 	}
 	return r.futures[idx]
+}
+
+// donate recycles an evicted future's chunk buffer into the client pool.
+// Only settled fetches donate: an in-flight (cancelled) fetch still owns
+// f.data and its buffer is simply dropped when the goroutine finishes.
+func (r *BlobReader) donate(f *chunkFuture) {
+	if f == holeFuture {
+		return
+	}
+	select {
+	case <-f.done:
+		if f.err == nil {
+			r.c.putBuf(f.data)
+		}
+	default:
+	}
 }
 
 // await blocks until chunk idx is available or the context is cancelled.
@@ -368,6 +391,10 @@ func (r *BlobReader) Close() error {
 	}
 	r.closed = true
 	r.cancel()
+	for i, f := range r.futures {
+		delete(r.futures, i)
+		r.donate(f)
+	}
 	if r.pinned {
 		r.c.pinner.Unpin(r.blob, r.version)
 	}
@@ -403,7 +430,8 @@ type BlobWriter struct {
 	tk        *vmanager.Ticket // pre-assigned ticket (appends); nil = assigned at Close
 	started   time.Time
 
-	cur        []byte               // buffered bytes of the current slot; cap ends at the slot boundary
+	cur        []byte               // buffered bytes of the current slot
+	curRoom    int                  // slot bytes cur may hold (pooled caps exceed the slot)
 	curStart   int64                // absolute offset of cur[0]
 	total      int64                // bytes accepted so far
 	placements [][]string           // batch-allocated replica sets for upcoming slots
@@ -479,15 +507,18 @@ func (w *BlobWriter) writable() error {
 	return w.ctx.Err()
 }
 
-// ensureCur sizes the slot buffer so its capacity ends exactly at the
-// current chunk slot boundary.
+// ensureCur readies the slot buffer and sets curRoom to the bytes left
+// to the current chunk slot boundary (the pooled buffer's capacity may
+// exceed the slot, so the boundary is tracked explicitly). Buffers come
+// from the client's chunk pool and go back once their flush lands.
 func (w *BlobWriter) ensureCur() {
 	if w.cur != nil {
 		return
 	}
 	idx := w.curStart / w.chunkSize
 	_, slotHi := chunk.SlotRange(idx, w.chunkSize)
-	w.cur = make([]byte, 0, slotHi-w.curStart)
+	w.curRoom = int(slotHi - w.curStart)
+	w.cur = w.c.getBuf(slotHi - w.curStart)
 }
 
 // Write implements io.Writer.
@@ -498,7 +529,7 @@ func (w *BlobWriter) Write(p []byte) (int, error) {
 	n := 0
 	for len(p) > 0 {
 		w.ensureCur()
-		take := cap(w.cur) - len(w.cur)
+		take := w.curRoom - len(w.cur)
 		if take > len(p) {
 			take = len(p)
 		}
@@ -506,7 +537,7 @@ func (w *BlobWriter) Write(p []byte) (int, error) {
 		p = p[take:]
 		n += take
 		w.total += int64(take)
-		if len(w.cur) == cap(w.cur) {
+		if len(w.cur) == w.curRoom {
 			w.flushCur()
 			// flushCur may have blocked on the worker semaphore: surface a
 			// cancellation or flush failure now instead of consuming the
@@ -529,12 +560,12 @@ func (w *BlobWriter) ReadFrom(r io.Reader) (int64, error) {
 			return total, err
 		}
 		w.ensureCur()
-		n, err := r.Read(w.cur[len(w.cur):cap(w.cur)])
+		n, err := r.Read(w.cur[len(w.cur):w.curRoom])
 		if n > 0 {
 			w.cur = w.cur[:len(w.cur)+n]
 			w.total += int64(n)
 			total += int64(n)
-			if len(w.cur) == cap(w.cur) {
+			if len(w.cur) == w.curRoom {
 				w.flushCur()
 				// Surface a cancellation or flush failure even when this
 				// Read also returned io.EOF: a slot dropped by flushCur
@@ -595,10 +626,12 @@ func (w *BlobWriter) flushCur() {
 	w.cur = nil
 	w.curStart = start + int64(len(data))
 	if len(data) == 0 {
+		w.c.putBuf(data) // an ensured-but-unfilled slot buffer
 		return
 	}
 	targets, err := w.nextPlacement()
 	if err != nil {
+		w.c.putBuf(data)
 		w.mu.Lock()
 		if w.err == nil {
 			w.err = err
@@ -612,6 +645,7 @@ func (w *BlobWriter) flushCur() {
 	case <-w.ctx.Done():
 		// Cancelled: the slot is dropped; Close sees ctx.Err() and never
 		// publishes, so no version can reference the missing chunk.
+		w.c.putBuf(data)
 		return
 	}
 	w.wg.Add(1)
@@ -619,6 +653,9 @@ func (w *BlobWriter) flushCur() {
 		defer w.wg.Done()
 		defer func() { <-w.sem }()
 		idx, desc, err := w.c.storeSlot(w.ctx, w.blob, w.chunkSize, start, data, targets, w.base)
+		// The slot buffer is dead once the replica stores returned
+		// (Conn.Store does not retain payloads): back to the pool.
+		w.c.putBuf(data)
 		w.mu.Lock()
 		defer w.mu.Unlock()
 		if err != nil {

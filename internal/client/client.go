@@ -35,10 +35,21 @@ var (
 
 // Conn is the client's view of one data provider. Transfers are
 // context-first: a cancelled ctx must abort the transfer (or the wait for
-// it) promptly.
+// it) promptly. Store must not retain data after it returns, and Fetch's
+// result is owned by the caller: the client recycles chunk buffers
+// through a pool on both sides, so a retained slice would be overwritten
+// by a later transfer.
 type Conn interface {
 	Store(ctx context.Context, user string, id chunk.ID, data []byte) error
 	Fetch(ctx context.Context, user string, id chunk.ID) ([]byte, error)
+}
+
+// BufferedFetcher is an optional Conn extension: Fetch into a
+// caller-supplied buffer (appended to buf[:0]; the in-process provider
+// plane implements it). The streaming read path uses it to serve its
+// whole prefetch window from a recycled pool of chunk buffers.
+type BufferedFetcher interface {
+	FetchBuf(ctx context.Context, user string, id chunk.ID, buf []byte) ([]byte, error)
 }
 
 // Directory resolves provider IDs to connections; the real plane resolves
@@ -93,6 +104,14 @@ type Client struct {
 	prefetch int  // chunks a BlobReader keeps in flight (window)
 	quorum   int  // successful replica stores required per chunk (0 = all)
 	hedged   bool // fetch all replicas concurrently, first success wins
+
+	// bufs recycles chunk-sized buffers across the streaming paths:
+	// BlobWriter slot buffers and partial-slot merge scratch draw from
+	// it, BlobReader prefetch buffers are donated back as the consumer
+	// moves past them — so steady-state streaming reuses a working set
+	// of roughly window+workers buffers instead of allocating one per
+	// chunk.
+	bufs sync.Pool
 }
 
 // Option configures a Client.
@@ -359,6 +378,31 @@ func (c *Client) Latest(blob uint64) (uint64, error) {
 	return vm.Version, nil
 }
 
+// getBuf returns a zero-length buffer with capacity at least n, reusing
+// a pooled chunk buffer when one is large enough (a smaller pooled
+// buffer — another BLOB's chunk size — is dropped for the GC). The full
+// capacity is preserved, never clipped: a buffer that once served a
+// short tail chunk must still satisfy full-chunk requests when it comes
+// back around, or mixed-size workloads would churn the pool.
+func (c *Client) getBuf(n int64) []byte {
+	if v := c.bufs.Get(); v != nil {
+		if b := *(v.(*[]byte)); int64(cap(b)) >= n {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+// putBuf donates a dead chunk buffer to the pool. Callers must hold the
+// only live reference: pooled buffers are re-sliced and overwritten.
+func (c *Client) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	c.bufs.Put(&b)
+}
+
 func (c *Client) resolveVersion(blob, version uint64) (vmanager.VersionMeta, error) {
 	if version == 0 {
 		return c.vm.Latest(blob)
@@ -433,12 +477,21 @@ func (c *Client) storeSlot(ctx context.Context, blob uint64, chunkSize, start in
 				valid = int64(len(base))
 			}
 			// valid ≤ chunkSize always; size the merge buffer to the
-			// content, not the chunk — a small object must not allocate a
-			// whole slot.
-			buf := make([]byte, valid)
-			copy(buf, base)
+			// content, not the chunk — a small object must not claim a
+			// whole slot. The buffer is pooled: stale bytes between the
+			// base content and the write must be zeroed by hand (a fresh
+			// allocation got that for free).
+			buf := c.getBuf(valid)[:valid]
+			n := copy(buf, base)
+			if int64(n) < within {
+				clear(buf[n:within])
+			}
 			copy(buf[within:], data)
+			c.putBuf(base)
 			data = buf
+			// Dead once the replica stores return: Conn.Store must not
+			// retain its payload.
+			defer c.putBuf(buf)
 		}
 	}
 	id := chunk.Sum(data)
@@ -465,7 +518,6 @@ func (c *Client) baseSlot(ctx context.Context, blob uint64, chunkSize, idx int64
 	if base.Size-slotLo < baseLen {
 		baseLen = base.Size - slotLo
 	}
-	buf := make([]byte, baseLen)
 	tree, err := c.vm.Tree(blob)
 	if err != nil {
 		return nil, err
@@ -474,26 +526,41 @@ func (c *Client) baseSlot(ctx context.Context, blob uint64, chunkSize, idx int64
 	if err != nil {
 		return nil, err
 	}
+	// Pooled scratch (the caller putBufs it after merging): hole slots
+	// and short chunks read as zeros, so whatever the fetch does not
+	// cover is cleared by hand.
+	buf := c.getBuf(baseLen)[:baseLen]
+	n := 0
 	if len(descs) == 1 && !descs[0].ID.IsZero() {
 		data, err := c.fetchReplica(ctx, descs[0])
 		if err != nil {
+			c.putBuf(buf)
 			return nil, err
 		}
-		copy(buf, data)
+		n = copy(buf, data)
+		c.putBuf(data)
 	}
+	clear(buf[n:])
 	return buf, nil
 }
 
 // fetchReplica serves the chunk from one of its replicas: serial
 // failover in placement order by default, or a concurrent
-// first-success-wins race when hedged reads are on.
+// first-success-wins race when hedged reads are on. On the serial path
+// a pooled chunk buffer backs the transfer whenever the replica's Conn
+// supports FetchBuf; the returned slice is owned by the caller either
+// way (readers donate it back to the pool once consumed). Hedged races
+// allocate per racer — losers may still be writing their buffers when
+// the winner returns, so they cannot share a pool entry.
 func (c *Client) fetchReplica(ctx context.Context, d chunk.Desc) ([]byte, error) {
 	if c.hedged && len(d.Providers) > 1 {
 		return c.fetchHedged(ctx, d)
 	}
+	var buf []byte // pooled; reused across failover attempts
 	var lastErr error
 	for _, pid := range d.Providers {
 		if err := ctx.Err(); err != nil {
+			c.putBuf(buf)
 			return nil, err
 		}
 		conn, err := c.dir.Lookup(ctx, pid)
@@ -501,12 +568,25 @@ func (c *Client) fetchReplica(ctx context.Context, d chunk.Desc) ([]byte, error)
 			lastErr = err
 			continue
 		}
-		data, err := conn.Fetch(ctx, c.user, d.ID)
-		if err == nil {
-			return data, nil
+		var data []byte
+		if bf, ok := conn.(BufferedFetcher); ok {
+			if buf == nil {
+				buf = c.getBuf(d.Size)
+			}
+			data, err = bf.FetchBuf(ctx, c.user, d.ID, buf)
+			if err == nil {
+				return data, nil // aliases buf: the caller owns it now
+			}
+		} else {
+			data, err = conn.Fetch(ctx, c.user, d.ID)
+			if err == nil {
+				c.putBuf(buf) // fresh allocation won: any earlier pooled buffer is spare
+				return data, nil
+			}
 		}
 		lastErr = err
 	}
+	c.putBuf(buf)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

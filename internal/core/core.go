@@ -53,6 +53,11 @@ type Options struct {
 	Elasticity       *selfconfig.Config // enable the elasticity controller
 	BaseDegree       int                // replication maintenance target (default = Replicas)
 	GCGraceEpochs    int                // sweep write-in-progress grace window (0 = default 1, -1 = none)
+	// ProviderStore mints the backing chunk store for each new provider
+	// (nil, or a nil return, = the in-memory MemStore). It is the seam
+	// for disk-backed stores and for fault/latency injection in tests;
+	// stores implementing provider.LifecycleStore stay sweepable.
+	ProviderStore func(id string) provider.Store
 }
 
 // Cluster is a fully wired in-process deployment.
@@ -212,9 +217,14 @@ func (c *Cluster) AddProvider() (string, error) {
 	c.nextProv++
 	id := fmt.Sprintf("provider%03d", i)
 	zone := c.opts.Zones[i%len(c.opts.Zones)]
-	p := provider.New(id, zone, c.opts.ProviderCapacity,
+	popts := []provider.Option{
 		provider.WithEmitter(c.agentFor(id)),
-		provider.WithClock(c.now))
+		provider.WithClock(c.now),
+	}
+	if c.opts.ProviderStore != nil {
+		popts = append(popts, provider.WithStore(c.opts.ProviderStore(id)))
+	}
+	p := provider.New(id, zone, c.opts.ProviderCapacity, popts...)
 	c.providers[id] = p
 	c.mu.Unlock()
 	if err := c.PM.Register(pmanager.Info{ID: id, Zone: zone, Capacity: c.opts.ProviderCapacity}); err != nil {

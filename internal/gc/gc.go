@@ -142,13 +142,32 @@ type Manager struct {
 	grace    uint64 // epochs of write-in-progress protection
 	pageSize int    // ListChunks page size
 	batch    int    // Purge batch size
+	workers  int    // providers paged/purged concurrently per sweep
 
 	mu         sync.Mutex
 	pins       map[pinKey]int
 	pinsByBlob map[uint64]int
 	deferred   map[uint64]*deferredBlob
 
-	sweepMu sync.Mutex // serializes sweeps
+	sweepMu sync.Mutex // serializes sweeps against each other only
+
+	// fence orders the foreground refcount-decrement paths (DeleteBlob
+	// fast path, pin-drain, ReclaimDescs) against a concurrent sweep
+	// without putting them behind the sweep's List/Purge I/O. Decrements
+	// hold the read side while they filter against the purged set and
+	// issue their removes; the sweep takes the write side only for
+	// moments — a barrier between mark's version walks and its
+	// deferred-snapshot read, and the recording of each purge batch —
+	// so a foreground delete waits at worst for one such blip (or for
+	// another in-flight decrement), never for a pass over millions of
+	// chunks.
+	fence sync.RWMutex
+	// purged is the active (non-dry-run) pass's wholesale-purged IDs;
+	// nil outside passes. A decrement whose ID is in the set is dropped:
+	// the purge already freed the chunk, and a remove chasing it could
+	// debit a fresh same-content Put. Written under fence's write lock,
+	// read under its read side.
+	purged map[chunk.ID]struct{}
 
 	pinned        metrics.Gauge // outstanding pins
 	deferredBlobs metrics.Gauge // queued deletions
@@ -201,6 +220,17 @@ func WithPageSize(n int) Option {
 	}
 }
 
+// WithSweepWorkers bounds how many providers one sweep pages and purges
+// concurrently (default 8). Wall-clock sweep time then scales with the
+// slowest provider, not the sum of all of them.
+func WithSweepWorkers(n int) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.workers = n
+		}
+	}
+}
+
 // New returns a lifecycle manager over the version manager and provider
 // pool.
 func New(vm *vmanager.Manager, prov Providers, opts ...Option) *Manager {
@@ -211,6 +241,7 @@ func New(vm *vmanager.Manager, prov Providers, opts ...Option) *Manager {
 		grace:      1,
 		pageSize:   1024,
 		batch:      256,
+		workers:    8,
 		pins:       make(map[pinKey]int),
 		pinsByBlob: make(map[uint64]int),
 		deferred:   make(map[uint64]*deferredBlob),
@@ -260,6 +291,15 @@ func (m *Manager) Unpin(blob, version uint64) {
 // unpin decrements a pin entry, firing the deferred reclaim on drain.
 // It reports whether a pin was actually released.
 func (m *Manager) unpin(k pinKey) bool {
+	// The fence must be held from before the deferred entry leaves the
+	// map until the drain's decrements are issued: with a gap between
+	// the two, a whole sweep pass could run inside it — mark seeing
+	// neither the blob (deleted) nor the snapshot (just removed), its
+	// purged set already reset — and the late decrements would debit a
+	// fresh same-content re-store unfiltered. Holding the read side
+	// across the handoff forces mark's barrier to wait for us instead.
+	m.fence.RLock()
+	defer m.fence.RUnlock()
 	m.mu.Lock()
 	if m.pins[k] == 0 {
 		m.mu.Unlock()
@@ -284,11 +324,10 @@ func (m *Manager) unpin(k pinKey) bool {
 	m.mu.Unlock()
 	if def != nil {
 		m.deferredBlobs.Dec()
-		// Under sweepMu for the same reason as DeleteBlob's fast path:
-		// the decrements must not race a sweep purge of the same IDs.
-		m.sweepMu.Lock()
+		// Still under the fence's read side (taken at the top): the
+		// decrements filter against a concurrent pass's purged set
+		// without the reader's Close ever waiting on List/Purge I/O.
 		m.reclaimVersions(context.Background(), def.versions)
-		m.sweepMu.Unlock()
 		m.emit.Emit(instrument.Event{
 			Time: m.now(), Actor: instrument.ActorGC, Op: instrument.OpEvict, Blob: k.blob,
 		})
@@ -325,14 +364,19 @@ func (m *Manager) DeleteBlob(ctx context.Context, blob uint64) error {
 	// sweep's mark phase: between DeleteExact (the BLOB leaves the
 	// version manager) and the deferred-snapshot insert, a concurrent
 	// mark would see neither the live versions nor the snapshot and
-	// could purge a pinned reader's chunks. The non-deferred reclaim
-	// stays under sweepMu too: its refcount decrements must not chase a
-	// sweep that already purged the same IDs, or they would debit a
-	// fresh same-content Put of a still-unpublished writer.
-	m.sweepMu.Lock()
+	// could purge a pinned reader's chunks. Holding the fence's read
+	// side across the handoff gives exactly that — mark's barrier waits
+	// out in-flight handoffs before it reads the deferred set — while
+	// concurrent deletes still run in parallel with each other and with
+	// the sweep's List/Purge I/O. The non-deferred reclaim stays under
+	// the fence too: its decrements are filtered against (and ordered
+	// before) the pass's wholesale purges, so they can never chase a
+	// purge into debiting a fresh same-content Put of a still-
+	// unpublished writer.
+	m.fence.RLock()
 	vs, err := m.vm.DeleteExact(blob)
 	if err != nil {
-		m.sweepMu.Unlock()
+		m.fence.RUnlock()
 		return err
 	}
 	m.mu.Lock()
@@ -342,7 +386,7 @@ func (m *Manager) DeleteBlob(ctx context.Context, blob uint64) error {
 	}
 	m.mu.Unlock()
 	if pinned {
-		m.sweepMu.Unlock()
+		m.fence.RUnlock()
 		m.deferredBlobs.Inc()
 		m.emit.Emit(instrument.Event{
 			Time: m.now(), Actor: instrument.ActorGC, Op: instrument.OpDelete, Blob: blob,
@@ -351,7 +395,7 @@ func (m *Manager) DeleteBlob(ctx context.Context, blob uint64) error {
 		return nil
 	}
 	m.reclaimVersions(ctx, vs)
-	m.sweepMu.Unlock()
+	m.fence.RUnlock()
 	m.emit.Emit(instrument.Event{
 		Time: m.now(), Actor: instrument.ActorGC, Op: instrument.OpDelete, Blob: blob,
 	})
@@ -390,27 +434,47 @@ func (m *Manager) reclaimVersions(ctx context.Context, vs []vmanager.VersionSlot
 		}
 	}
 	perProv := map[string][]chunk.ID{}
-	var n int64
 	for id, per := range refs {
 		for p, count := range per {
 			for i := 0; i < count; i++ {
 				perProv[p] = append(perProv[p], id)
-				n++
 			}
 		}
 	}
-	m.removeFanout(ctx, perProv)
-	m.reclaimedRefs.Add(n)
+	m.reclaimedRefs.Add(m.removeFanout(ctx, perProv))
 }
 
 // removeFanout issues refcount decrements provider-parallel: each
 // provider's removes run sequentially on one goroutine, so a large
 // reclaim is bounded by the slowest provider, not the sum (the drain
 // path runs inside a reader's Close). Failures are best effort — dead
-// providers keep stale chunks for the sweep.
-func (m *Manager) removeFanout(ctx context.Context, perProv map[string][]chunk.ID) {
+// providers keep stale chunks for the sweep. It returns how many
+// decrements were issued.
+//
+// Callers hold the fence's read side, which makes the purged set stable
+// for the duration: IDs the active sweep pass already wholesale-purged
+// are dropped here — the purge freed them, and a remove landing after
+// it would debit a fresh same-content Put. Dropping errs toward leaking
+// a refcount (a reference of a re-stored chunk going unaccounted),
+// which the next sweep corrects; the sweep, not the refcounts, is the
+// source of truth for liveness.
+func (m *Manager) removeFanout(ctx context.Context, perProv map[string][]chunk.ID) int64 {
+	var issued int64
 	var wg sync.WaitGroup
 	for p, ids := range perProv {
+		if m.purged != nil {
+			live := ids[:0]
+			for _, id := range ids {
+				if _, hit := m.purged[id]; !hit {
+					live = append(live, id)
+				}
+			}
+			ids = live
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		issued += int64(len(ids))
 		wg.Add(1)
 		go func(p string, ids []chunk.ID) {
 			defer wg.Done()
@@ -420,6 +484,7 @@ func (m *Manager) removeFanout(ctx context.Context, perProv map[string][]chunk.I
 		}(p, ids)
 	}
 	wg.Wait()
+	return issued
 }
 
 // ReclaimDescs drops one reference per descriptor per provider — the
@@ -428,19 +493,18 @@ func (m *Manager) removeFanout(ctx context.Context, perProv map[string][]chunk.I
 // callers pass per-slot lists, so repeated content reclaims per slot.
 func (m *Manager) ReclaimDescs(ctx context.Context, descs []chunk.Desc) {
 	perProv := map[string][]chunk.ID{}
-	var n int64
 	for _, d := range descs {
 		for _, p := range d.Providers {
 			perProv[p] = append(perProv[p], d.ID)
-			n++
 		}
 	}
-	// Under sweepMu like every other decrement path: a sweep that just
+	// Under the fence like every other decrement path: a sweep that just
 	// purged these IDs wholesale must not be chased by decrements that
-	// would debit a fresh same-content Put.
-	m.sweepMu.Lock()
-	m.removeFanout(ctx, perProv)
-	m.sweepMu.Unlock()
+	// would debit a fresh same-content Put. The read side keeps this off
+	// the sweep's critical path entirely.
+	m.fence.RLock()
+	n := m.removeFanout(ctx, perProv)
+	m.fence.RUnlock()
 	m.reclaimedRefs.Add(n)
 }
 
@@ -494,14 +558,38 @@ func (m *Manager) EnforceRetention(ctx context.Context, now time.Time) (Retentio
 // every retained version of every live BLOB plus the snapshots of
 // deleted-but-pinned BLOBs; sweep advances every provider's epoch, pages
 // through its chunk inventory and purges unreferenced chunks old enough
-// to clear the grace window. Under dryRun chunks are classified and
+// to clear the grace window. Providers are paged and purged concurrently
+// (bounded by WithSweepWorkers), so wall-clock sweep time tracks the
+// slowest provider, not the sum. Under dryRun chunks are classified and
 // counted but nothing is removed.
+//
+// The sweep never excludes the foreground: deletes, pin-drain reclaims
+// and orphan reclaims proceed while it runs, ordered against its purges
+// by the per-pass purged-ID set behind the fence (see Manager.fence).
 func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 	m.sweepMu.Lock()
 	defer m.sweepMu.Unlock()
 
 	rep := SweepReport{Time: m.now(), DryRun: dryRun}
+	var mu sync.Mutex // guards rep and firstErr during the fan-outs
 	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	workers := m.workers
+	ids := m.prov.IDs()
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
 
 	// Epoch first, mark second: any chunk stored after this point is
 	// tagged with the new epoch and therefore inside the grace window,
@@ -509,30 +597,53 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 	// dry-run must not advance the epoch — repeated dry-runs would
 	// silently age real writers out of their grace protection — so it
 	// classifies against the epoch a real sweep would see (current + 1).
-	ids := m.prov.IDs()
 	epochs := make(map[string]uint64, len(ids))
 	for _, id := range ids {
-		var e uint64
-		var err error
-		if dryRun {
-			e, err = m.prov.Epoch(ctx, id)
-			e++
-		} else {
-			e, err = m.prov.AdvanceEpoch(ctx, id)
-		}
-		if err != nil {
-			rep.Failed++
-			if firstErr == nil {
-				firstErr = fmt.Errorf("gc: advance epoch %s: %w", id, err)
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var e uint64
+			var err error
+			if dryRun {
+				e, err = m.prov.Epoch(ctx, id)
+				e++
+			} else {
+				e, err = m.prov.AdvanceEpoch(ctx, id)
 			}
-			continue
-		}
-		epochs[id] = e
+			mu.Lock()
+			if err != nil {
+				rep.Failed++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("gc: advance epoch %s: %w", id, err)
+				}
+			} else {
+				epochs[id] = e
+			}
+			mu.Unlock()
+		}(id)
 	}
+	wg.Wait()
 
 	marked, err := m.mark(ctx)
 	if err != nil {
 		return rep, err
+	}
+
+	if !dryRun {
+		// Open the pass's purged-ID set: from here until the deferred
+		// reset, foreground decrements filter against it instead of
+		// waiting for the pass to finish. The set must exist before the
+		// first Purge — recordPurged populates it batch by batch.
+		m.fence.Lock()
+		m.purged = make(map[chunk.ID]struct{})
+		m.fence.Unlock()
+		defer func() {
+			m.fence.Lock()
+			m.purged = nil
+			m.fence.Unlock()
+		}()
 	}
 
 	for _, id := range ids {
@@ -540,78 +651,32 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 		if !ok {
 			continue
 		}
-		if err := ctx.Err(); err != nil {
-			if firstErr == nil {
-				firstErr = err
+		wg.Add(1)
+		go func(id string, epoch uint64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := m.sweepProvider(ctx, id, epoch, marked, dryRun)
+			mu.Lock()
+			if res.counted {
+				rep.Providers++
 			}
-			break
-		}
-		rep.Providers++
-		var victims []chunk.ID
-		var victimBytes []int64
-		var after chunk.ID
-		for {
-			page, more, err := m.prov.ListChunks(ctx, id, after, m.pageSize)
-			if err != nil {
+			if res.failed {
 				rep.Failed++
-				rep.Providers--
-				if firstErr == nil {
-					firstErr = fmt.Errorf("gc: list %s: %w", id, err)
-				}
-				victims, victimBytes = nil, nil
-				break
 			}
-			for _, info := range page {
-				rep.Scanned++
-				switch {
-				case marked[info.ID]:
-					rep.Live++
-				case info.Epoch+m.grace >= epoch:
-					// Possibly an unpublished writer's flush: protected
-					// until it has sat unreferenced through the grace
-					// window.
-					rep.InGrace++
-				default:
-					victims = append(victims, info.ID)
-					victimBytes = append(victimBytes, info.Size)
-				}
+			rep.Scanned += res.scanned
+			rep.Live += res.live
+			rep.InGrace += res.inGrace
+			rep.Swept += res.swept
+			rep.SweptBytes += res.sweptBytes
+			mu.Unlock()
+			if res.err != nil {
+				fail(res.err)
 			}
-			if len(page) > 0 {
-				after = page[len(page)-1].ID
-			}
-			if !more {
-				break
-			}
-		}
-		if dryRun {
-			// Dry-run reports the classification: what a real sweep
-			// would reclaim.
-			rep.Swept += len(victims)
-			for _, sz := range victimBytes {
-				rep.SweptBytes += sz
-			}
-			continue
-		}
-		// Count reclaimed space from what the purge actually freed, not
-		// from the classification: a failed provider must not report its
-		// victims as swept.
-		for lo := 0; lo < len(victims); lo += m.batch {
-			hi := lo + m.batch
-			if hi > len(victims) {
-				hi = len(victims)
-			}
-			purged, freed, err := m.prov.Purge(ctx, id, victims[lo:hi])
-			rep.Swept += purged
-			rep.SweptBytes += freed
-			if err != nil {
-				rep.Failed++
-				if firstErr == nil {
-					firstErr = fmt.Errorf("gc: purge %s: %w", id, err)
-				}
-				break
-			}
-		}
+		}(id, epoch)
 	}
+	wg.Wait()
+
 	if !dryRun {
 		m.sweptChunks.Add(int64(rep.Swept))
 		m.sweptBytes.Add(rep.SweptBytes)
@@ -621,6 +686,106 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 		Bytes: rep.SweptBytes, Value: float64(rep.Swept),
 	})
 	return rep, firstErr
+}
+
+// provSweep is one provider's share of a sweep pass.
+type provSweep struct {
+	counted                       bool // provider completed its listing (counts in Providers)
+	failed                        bool
+	scanned, live, inGrace, swept int
+	sweptBytes                    int64
+	err                           error
+}
+
+// sweepProvider pages one provider's inventory, classifies every chunk
+// against the mark set and the grace window, and purges victims in
+// batches as the scan goes — victims never accumulate past one batch
+// beyond the page in flight. Reclaimed space is counted from what Purge
+// actually freed, not from the classification: a failed provider must
+// not report its victims as swept.
+func (m *Manager) sweepProvider(ctx context.Context, id string, epoch uint64, marked map[chunk.ID]bool, dryRun bool) provSweep {
+	var res provSweep
+	var victims []chunk.ID
+	flush := func() error {
+		for len(victims) > 0 {
+			n := min(m.batch, len(victims))
+			batch := victims[:n]
+			victims = victims[n:]
+			m.recordPurged(batch)
+			purged, freed, err := m.prov.Purge(ctx, id, batch)
+			res.swept += purged
+			res.sweptBytes += freed
+			if err != nil {
+				return fmt.Errorf("gc: purge %s: %w", id, err)
+			}
+		}
+		return nil
+	}
+	var after chunk.ID
+	for {
+		if err := ctx.Err(); err != nil {
+			res.err = err
+			return res
+		}
+		page, more, err := m.prov.ListChunks(ctx, id, after, m.pageSize)
+		if err != nil {
+			res.failed = true
+			res.err = fmt.Errorf("gc: list %s: %w", id, err)
+			return res
+		}
+		for _, info := range page {
+			res.scanned++
+			switch {
+			case marked[info.ID]:
+				res.live++
+			case info.Epoch+m.grace >= epoch:
+				// Possibly an unpublished writer's flush: protected
+				// until it has sat unreferenced through the grace
+				// window.
+				res.inGrace++
+			case dryRun:
+				// Dry-run reports the classification: what a real
+				// sweep would reclaim.
+				res.swept++
+				res.sweptBytes += info.Size
+			default:
+				victims = append(victims, info.ID)
+			}
+		}
+		if len(page) > 0 {
+			after = page[len(page)-1].ID
+		}
+		if len(victims) >= m.batch {
+			if err := flush(); err != nil {
+				res.counted, res.failed = true, true
+				res.err = err
+				return res
+			}
+		}
+		if !more {
+			break
+		}
+	}
+	res.counted = true
+	if err := flush(); err != nil {
+		res.failed = true
+		res.err = err
+	}
+	return res
+}
+
+// recordPurged publishes a purge batch to the active pass's purged-ID
+// set. Taking the fence's write side does double duty: it makes the IDs
+// visible to later decrements, and it waits out every decrement already
+// past its filter check — so a foreground Remove always lands before
+// the wholesale purge it could otherwise chase. The lock is held only
+// for the map inserts, never across the Purge I/O itself.
+func (m *Manager) recordPurged(ids []chunk.ID) {
+	m.fence.Lock()
+	for _, id := range ids {
+		m.purged[id] = struct{}{}
+	}
+	m.fence.Unlock()
 }
 
 // mark enumerates every chunk ID that must survive the sweep: all
@@ -657,6 +822,18 @@ func (m *Manager) mark(ctx context.Context) (map[chunk.ID]bool, error) {
 			}
 		}
 	}
+	// Ordering barrier between the version walks above and the
+	// deferred-snapshot read below: DeleteBlob holds the fence's read
+	// side across its DeleteExact→snapshot handoff, so acquiring and
+	// releasing the write side here guarantees that (a) any delete whose
+	// DeleteExact made a walk above fail has finished inserting its
+	// deferred snapshot — the read below sees it — and (b) any delete
+	// starting after the barrier runs entirely after the walks, whose
+	// enumeration therefore saw its BLOB live and marked its chunks.
+	// Either way a pinned reader's chunks survive. The lock is not held
+	// over anything: foreground deletes wait a blip, never the walks.
+	m.fence.Lock()
+	m.fence.Unlock() //nolint:staticcheck // empty section is the barrier
 	m.mu.Lock()
 	for _, def := range m.deferred {
 		for _, id := range def.chunkIDs() {

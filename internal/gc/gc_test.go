@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -16,6 +18,7 @@ import (
 	"blobseer/internal/gc"
 	"blobseer/internal/pmanager"
 	"blobseer/internal/provider"
+	"blobseer/internal/s3gate"
 	"blobseer/internal/vmanager"
 )
 
@@ -625,4 +628,240 @@ func BenchmarkSweep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- GC off the hot path --------------------------------------------
+
+// gatedStore wraps a MemStore whose List parks until released — the
+// shape of a provider inventory scan over millions of chunks. The first
+// parked List closes inList so tests know the sweep is mid-pass.
+type gatedStore struct {
+	*provider.MemStore
+	inList  chan struct{}
+	release chan struct{}
+	once    *sync.Once
+}
+
+func (g *gatedStore) List(after chunk.ID, limit int) ([]provider.ChunkInfo, bool) {
+	g.once.Do(func() { close(g.inList) })
+	<-g.release
+	return g.MemStore.List(after, limit)
+}
+
+// TestForegroundOpsNotBehindSweep: with a sweep parked mid-List
+// (simulating a pass over a huge inventory), an s3 DELETE, a direct
+// lifecycle delete and a pinned streaming reader's Close must all
+// complete within a tight bound — none of them may serialize against
+// the sweep's List/Purge I/O.
+func TestForegroundOpsNotBehindSweep(t *testing.T) {
+	inList := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	c := newCluster(t, core.Options{
+		Providers: 2, Monitoring: false, GCGraceEpochs: -1,
+		ProviderStore: func(string) provider.Store {
+			return &gatedStore{MemStore: provider.NewMemStore(0), inList: inList, release: release, once: &once}
+		},
+	})
+	g := s3gate.New(c)
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+
+	httpDo := func(method, path string, body []byte) int {
+		t.Helper()
+		req, err := http.NewRequest(method, srv.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := httpDo(http.MethodPut, "/b", nil); code != http.StatusOK {
+		t.Fatalf("create bucket: %d", code)
+	}
+	if code := httpDo(http.MethodPut, "/b/k", bytes.Repeat([]byte{'s'}, 4<<10)); code != http.StatusOK {
+		t.Fatalf("put object: %d", code)
+	}
+
+	ctx := context.Background()
+	cl := c.Client("alice")
+	infoA, err := cl.Create(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Write(infoA.ID, 0, bytes.Repeat([]byte{'a'}, 4<<10)); err != nil {
+		t.Fatal(err)
+	}
+	infoB, err := cl.Create(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{'b'}, 4<<10)
+	if _, err := cl.Write(infoB.ID, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	bh, err := cl.Open(ctx, infoB.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := bh.NewReader(ctx, 0, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(rd, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// Queue a deferred reclaim behind the pin: Close below must drain it
+	// while the sweep runs.
+	if err := c.GC.DeleteBlob(ctx, infoB.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	sweepDone := make(chan error, 1)
+	go func() {
+		_, err := c.GC.Sweep(ctx, false)
+		sweepDone <- err
+	}()
+	<-inList // the sweep is parked mid-inventory from here on
+
+	const bound = 3 * time.Second
+	type op struct {
+		name string
+		run  func() error
+	}
+	for _, o := range []op{
+		{"s3 DELETE", func() error {
+			if code := httpDo(http.MethodDelete, "/b/k", nil); code != http.StatusNoContent {
+				return errors.New("unexpected status")
+			}
+			return nil
+		}},
+		{"lifecycle delete", func() error { return c.GC.DeleteBlob(ctx, infoA.ID) }},
+		{"pinned close", func() error {
+			if _, err := io.Copy(io.Discard, rd); err != nil {
+				return err
+			}
+			return rd.Close()
+		}},
+	} {
+		start := time.Now()
+		done := make(chan error, 1)
+		go func(f func() error) { done <- f() }(o.run)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("%s during sweep: %v", o.name, err)
+			}
+			if d := time.Since(start); d > bound {
+				t.Fatalf("%s took %v behind the sweep, bound %v", o.name, d, bound)
+			}
+		case <-time.After(bound):
+			t.Fatalf("%s did not complete within %v while the sweep ran", o.name, bound)
+		}
+	}
+	select {
+	case err := <-sweepDone:
+		t.Fatalf("sweep finished early (%v): the gate never held", err)
+	default:
+	}
+	// The pin drained: blob B's deferred reclaim already ran.
+	if got := c.GC.DeferredBlobs(); len(got) != 0 {
+		t.Fatalf("deferred after close = %v, want none", got)
+	}
+
+	close(release)
+	if err := <-sweepDone; err != nil {
+		t.Fatalf("sweep after release: %v", err)
+	}
+	// Everything was deleted and drained; at most one more sweep clears
+	// what the parked pass classified before the deletes landed.
+	if _, err := c.GC.Sweep(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalChunks(c); got != 0 {
+		t.Fatalf("chunks after sweeps = %d, want 0", got)
+	}
+}
+
+// TestDecrementVsPurgeInterleaving hammers the fence from every
+// decrement path — fast-path deletes, pin-drain reclaims — while sweeps
+// run in a tight loop. The race detector checks the synchronization;
+// the final assertion checks no liveness was lost either way: once all
+// BLOBs are deleted, sweeps converge every provider to empty.
+func TestDecrementVsPurgeInterleaving(t *testing.T) {
+	c := newCluster(t, core.Options{Providers: 3, Monitoring: false})
+	cl := c.Client("alice")
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var sweeps sync.WaitGroup
+	sweeps.Add(1)
+	go func() {
+		defer sweeps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.GC.Sweep(ctx, false); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var writers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 20; i++ {
+				info, err := cl.Create(256)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Content shared across goroutines and iterations, so
+				// the same chunk IDs are decremented, purged and
+				// re-stored concurrently.
+				payload := bytes.Repeat([]byte{byte('a' + (w+i)%3)}, 512)
+				if _, err := cl.Write(info.ID, 0, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					// Pinned reader rides through the delete; Close
+					// drains the deferred reclaim mid-sweep.
+					if b, err := cl.Open(ctx, info.ID); err == nil {
+						if rd, err := b.NewReader(ctx, 0, 0, -1); err == nil {
+							_ = c.GC.DeleteBlob(ctx, info.ID)
+							_, _ = io.Copy(io.Discard, rd)
+							_ = rd.Close()
+							continue
+						}
+					}
+				}
+				_ = c.GC.DeleteBlob(ctx, info.ID)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	sweeps.Wait()
+
+	// Everything is deleted: dropped decrements may have leaked
+	// refcounts, but the sweep is the source of truth — a few passes
+	// (the grace window, then the leftovers) must converge to empty.
+	waitFor(t, "sweeps to reclaim everything", func() bool {
+		if _, err := c.GC.Sweep(ctx, false); err != nil {
+			t.Fatal(err)
+		}
+		return totalChunks(c) == 0
+	})
 }

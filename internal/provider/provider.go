@@ -5,10 +5,11 @@
 package provider
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,17 @@ type LifecycleStore interface {
 	// List returns up to limit chunks with ID strictly greater than
 	// after, in ascending ID order, and whether more remain. A zero
 	// after starts from the beginning.
+	//
+	// Ordered-iteration contract: implementations must back List with an
+	// index ordered by chunk ID, so one page costs O(limit + log n) —
+	// never a scan of the whole key set. A paging caller (the garbage
+	// collector sweeps inventories this way, resuming from the last ID
+	// of the previous page) then pays O(n) for a full traversal, and
+	// every chunk present for the whole traversal is returned exactly
+	// once; chunks inserted or removed mid-traversal may or may not
+	// appear, but never twice. A disk store satisfies the contract with
+	// a range scan over its key order; MemStore keeps an always-sorted
+	// shadow index per lock stripe.
 	List(after chunk.ID, limit int) (page []ChunkInfo, more bool)
 	// Purge frees a chunk wholesale, regardless of its reference count,
 	// returning the payload bytes freed. Purging an absent chunk is not
@@ -74,12 +86,15 @@ type LifecycleStore interface {
 // content hashes, so striping on the first ID byte spreads uniformly.
 const memStripes = 32
 
-// memStripe is one independently locked shard of the chunk map.
+// memStripe is one independently locked shard of the chunk map. The
+// index shadows the data map's key set in sorted order (maintained on
+// Put/Delete/Purge) so List pages without rescanning the stripe.
 type memStripe struct {
 	mu     sync.Mutex
 	data   map[chunk.ID][]byte
 	refs   map[chunk.ID]int
 	epochs map[chunk.ID]uint64
+	index  idIndex
 }
 
 // MemStore is an in-memory, reference-counted Store with a byte-capacity
@@ -135,12 +150,19 @@ func (s *MemStore) Put(id chunk.ID, data []byte) error {
 	st.data[id] = append([]byte(nil), data...)
 	st.refs[id] = 1
 	st.epochs[id] = s.epoch.Load()
+	st.index.insert(id)
 	s.count.Add(1)
 	return nil
 }
 
 // Get returns a copy of the chunk payload.
 func (s *MemStore) Get(id chunk.ID) ([]byte, error) {
+	return s.GetAppend(id, nil)
+}
+
+// GetAppend implements BufferedGetter: the payload copy is appended to
+// dst[:0], reallocating only when dst is too small.
+func (s *MemStore) GetAppend(id chunk.ID, dst []byte) ([]byte, error) {
 	st := s.stripe(id)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -148,7 +170,7 @@ func (s *MemStore) Get(id chunk.ID) ([]byte, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
-	return append([]byte(nil), d...), nil
+	return append(dst[:0], d...), nil
 }
 
 // Delete decrements the chunk's refcount, freeing it at zero. Deleting an
@@ -168,6 +190,7 @@ func (s *MemStore) Delete(id chunk.ID) error {
 		delete(st.data, id)
 		delete(st.refs, id)
 		delete(st.epochs, id)
+		st.index.remove(id)
 	}
 	return nil
 }
@@ -189,33 +212,38 @@ func (s *MemStore) Purge(id chunk.ID) (int64, error) {
 	delete(st.data, id)
 	delete(st.refs, id)
 	delete(st.epochs, id)
+	st.index.remove(id)
 	return n, nil
 }
 
 // List implements LifecycleStore. Pages are in ascending ID order, so a
 // caller resuming from the last ID of the previous page sees every chunk
 // that existed for the whole scan exactly once.
+//
+// One page costs O(limit + log n): IDs sort by first byte before
+// anything else and the stripe of an ID is a pure function of that byte,
+// so the global ascending order decomposes into 256 first-byte segments,
+// each wholly inside one stripe's always-sorted index. The page walks
+// segments in order, binary-searching only the stripes that contribute
+// keys — no cross-stripe merge and no rescan of the resident set.
 func (s *MemStore) List(after chunk.ID, limit int) ([]ChunkInfo, bool) {
 	if limit <= 0 {
 		limit = 1024
 	}
-	var all []ChunkInfo
-	for i := range s.stripes {
-		st := &s.stripes[i]
+	want := limit + 1 // one extra key proves whether more remain
+	out := make([]ChunkInfo, 0, min(want, 4096))
+	for b := int(after[0]); b < 256 && len(out) < want; b++ {
+		st := &s.stripes[b%memStripes]
 		st.mu.Lock()
-		for id, d := range st.data {
-			if !after.IsZero() && string(id[:]) <= string(after[:]) {
-				continue
-			}
-			all = append(all, ChunkInfo{ID: id, Size: int64(len(d)), Refs: st.refs[id], Epoch: st.epochs[id]})
+		for _, id := range st.index.pageByte(byte(b), after, want-len(out)) {
+			out = append(out, ChunkInfo{ID: id, Size: int64(len(st.data[id])), Refs: st.refs[id], Epoch: st.epochs[id]})
 		}
 		st.mu.Unlock()
 	}
-	sort.Slice(all, func(i, j int) bool { return string(all[i].ID[:]) < string(all[j].ID[:]) })
-	if len(all) > limit {
-		return all[:limit], true
+	if len(out) > limit {
+		return out[:limit:limit], true
 	}
-	return all, false
+	return out, false
 }
 
 // Epoch implements LifecycleStore.
@@ -397,15 +425,39 @@ func (p *Provider) Store(ctx context.Context, user string, id chunk.ID, data []b
 	return err
 }
 
+// BufferedGetter is an optional Store extension: the chunk payload is
+// served into a caller-supplied buffer (appended to dst[:0]) instead of
+// a fresh allocation, so streaming consumers can recycle chunk buffers.
+// The result must still be caller-owned — implementations copy, never
+// alias their internal storage.
+type BufferedGetter interface {
+	GetAppend(id chunk.ID, dst []byte) ([]byte, error)
+}
+
 // Fetch returns one chunk replica on behalf of user. A cancelled ctx
 // rejects the transfer before it touches the store.
 func (p *Provider) Fetch(ctx context.Context, user string, id chunk.ID) ([]byte, error) {
+	return p.FetchBuf(ctx, user, id, nil)
+}
+
+// FetchBuf is Fetch into a caller-supplied buffer: when the backing
+// store supports BufferedGetter (MemStore does) the payload is appended
+// to buf[:0], otherwise it falls back to a fresh allocation. The
+// client's streaming reader uses it to cycle its prefetch window
+// through a buffer pool instead of allocating one copy per chunk.
+func (p *Provider) FetchBuf(ctx context.Context, user string, id chunk.ID, buf []byte) ([]byte, error) {
 	start := p.now()
 	if err := p.begin(ctx); err != nil {
 		return nil, err
 	}
 	defer p.end()
-	data, err := p.st.Get(id)
+	var data []byte
+	var err error
+	if bg, ok := p.st.(BufferedGetter); ok {
+		data, err = bg.GetAppend(id, buf)
+	} else {
+		data, err = p.st.Get(id)
+	}
 	p.fetches.Add(1)
 	if err == nil {
 		p.bytesUp.Add(int64(len(data)))
@@ -526,9 +578,7 @@ func (p *Provider) Has(id chunk.ID) bool { return p.st.Has(id) }
 // Keys lists held chunk IDs sorted for determinism.
 func (p *Provider) Keys() []chunk.ID {
 	ks := p.st.Keys()
-	sort.Slice(ks, func(i, j int) bool {
-		return string(ks[i][:]) < string(ks[j][:])
-	})
+	slices.SortFunc(ks, func(a, b chunk.ID) int { return bytes.Compare(a[:], b[:]) })
 	return ks
 }
 

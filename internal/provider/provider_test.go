@@ -462,3 +462,107 @@ func TestProviderLifecycleSurface(t *testing.T) {
 // plainStore hides the backing store's lifecycle extension by
 // promoting only the base Store interface.
 type plainStore struct{ Store }
+
+// TestMemStoreIndexChurn cross-checks the sorted shadow index against a
+// reference model through a long randomized Put/Delete/Purge churn:
+// after every phase, paging the whole inventory must yield exactly the
+// model's key set in ascending order, whatever the page size.
+func TestMemStoreIndexChurn(t *testing.T) {
+	s := NewMemStore(0)
+	model := map[chunk.ID][]byte{}
+	rnd := func(i int) []byte { return []byte(fmt.Sprintf("churn-%d", i)) }
+
+	listAll := func(limit int) []chunk.ID {
+		var got []chunk.ID
+		var after chunk.ID
+		for {
+			page, more := s.List(after, limit)
+			for i, ci := range page {
+				if i > 0 && bytes.Compare(page[i-1].ID[:], ci.ID[:]) >= 0 {
+					t.Fatal("page not strictly ascending")
+				}
+				got = append(got, ci.ID)
+			}
+			if len(page) > 0 {
+				after = page[len(page)-1].ID
+			}
+			if !more {
+				break
+			}
+			if len(page) == 0 {
+				t.Fatal("more=true with an empty page")
+			}
+		}
+		return got
+	}
+	check := func() {
+		t.Helper()
+		for _, limit := range []int{1, 7, 64, 100000} {
+			got := listAll(limit)
+			if len(got) != len(model) {
+				t.Fatalf("limit %d: listed %d keys, model has %d", limit, len(got), len(model))
+			}
+			for _, id := range got {
+				if _, ok := model[id]; !ok {
+					t.Fatalf("limit %d: listed key %s not in model", limit, id.Short())
+				}
+			}
+		}
+		if s.Count() != len(model) {
+			t.Fatalf("Count=%d, model %d", s.Count(), len(model))
+		}
+	}
+
+	// Grow well past several block splits.
+	for i := 0; i < 3000; i++ {
+		data := rnd(i)
+		id := chunk.Sum(data)
+		if err := s.Put(id, data); err != nil {
+			t.Fatal(err)
+		}
+		model[id] = data
+	}
+	check()
+
+	// Delete every third key (refcount path), purge every seventh.
+	i := 0
+	for id := range model {
+		switch i % 7 {
+		case 0:
+			if _, err := s.Purge(id); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, id)
+		case 1, 4:
+			if err := s.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, id)
+		}
+		i++
+	}
+	check()
+
+	// Refill over the holes, with some re-puts bumping refcounts only.
+	for i := 0; i < 3000; i += 2 {
+		data := rnd(i)
+		id := chunk.Sum(data)
+		if err := s.Put(id, data); err != nil {
+			t.Fatal(err)
+		}
+		model[id] = data
+	}
+	check()
+
+	// Drain everything: the index must end empty, not just small.
+	for id := range model {
+		if _, err := s.Purge(id); err != nil {
+			t.Fatal(err)
+		}
+		delete(model, id)
+	}
+	check()
+	if got := listAll(16); len(got) != 0 {
+		t.Fatalf("drained store still lists %d keys", len(got))
+	}
+}
