@@ -12,13 +12,17 @@
 //	blobseer-gc -bench           # measure sweep + streaming-read throughput
 //	blobseer-gc -bench -out F    # write the JSON report to F (default BENCH_gc.json)
 //
-// The bench runs three planes: a 10k-chunk sweep (the long-standing
+// The bench runs four planes: a 10k-chunk sweep (the long-standing
 // trajectory number), a large sweep (-large-chunks, default 1M) with
-// foreground DeleteBlob latency sampled while the sweep runs, and
-// streaming reads with the lifecycle runner sweeping concurrently. When
-// the output file already holds a previous report it is read first and
-// a chunks/s delta against it is printed (the CI smoke step compares
-// against the committed baseline this way).
+// foreground DeleteBlob latency sampled while the sweep runs, a
+// mark-phase plane (-mark-chunks/-mark-versions: multi-version,
+// shared-subtree-heavy BLOBs) comparing the pruned parallel mark
+// against a naive single-threaded per-version re-walk and measuring
+// metadata-node reclamation, and streaming reads with the lifecycle
+// runner sweeping concurrently. When the output file already holds a
+// previous report it is read first and a chunks/s delta against it is
+// printed (the CI smoke step compares against the committed baseline
+// this way).
 package main
 
 import (
@@ -46,10 +50,12 @@ func main() {
 		providers = flag.Int("providers", 4, "data providers in the cluster")
 		chunks    = flag.Int("chunks", 10000, "bench: target chunk population for the sweep measurement")
 		large     = flag.Int("large-chunks", 1_000_000, "bench: chunk population for the large sweep + delete-latency plane (0 = skip)")
+		markCh    = flag.Int("mark-chunks", 131072, "bench: live chunks in the mark-phase plane (0 = skip)")
+		markVers  = flag.Int("mark-versions", 24, "bench: overwrite versions per BLOB in the mark-phase plane")
 	)
 	flag.Parse()
 	if *bench {
-		if err := runBench(*providers, *chunks, *large, *out); err != nil {
+		if err := runBench(*providers, *chunks, *large, *markCh, *markVers, *out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -129,9 +135,11 @@ func runDemo(providers int, dryRun bool) error {
 	}
 	fmt.Printf("%s: %d providers, scanned %d, live %d, in-grace %d, swept %d (%d bytes)\n",
 		mode, rep.Providers, rep.Scanned, rep.Live, rep.InGrace, rep.Swept, rep.SweptBytes)
+	fmt.Printf("%s nodes: scanned %d, live %d, kept %d, swept %d (metadata store holds %d)\n",
+		mode, rep.NodesScanned, rep.NodesLive, rep.NodesKept, rep.NodesSwept, c.VM.MetaStore().Len())
 	st := c.GC.Stats()
-	fmt.Printf("stats: pins=%d deferred=%d swept=%d chunks/%d bytes, fast-path ref releases=%d, retired=%d\n",
-		st.Pins, st.DeferredBlobs, st.SweptChunks, st.SweptBytes, st.ReclaimedRefs, st.RetiredVers)
+	fmt.Printf("stats: pins=%d deferred=%d swept=%d chunks/%d bytes/%d nodes, fast-path ref releases=%d, retired=%d\n",
+		st.Pins, st.DeferredBlobs, st.SweptChunks, st.SweptBytes, st.SweptNodes, st.ReclaimedRefs, st.RetiredVers)
 	fmt.Printf("remaining chunks across providers: %d\n", clusterChunks(c))
 	return nil
 }
@@ -143,7 +151,27 @@ type benchReport struct {
 	Sweep      sweepB  `json:"sweep"`
 	SweepLarge *sweepB `json:"sweep_large,omitempty"`
 	Deletes    *latB   `json:"delete_during_sweep,omitempty"`
+	Mark       *markB  `json:"mark,omitempty"`
 	Stream     streamB `json:"stream_read"`
+}
+
+// markB measures the mark phase on a multi-version, shared-subtree-heavy
+// population: the pruned parallel mark against a naive single-threaded
+// per-version full re-walk (the pre-PR mark shape), plus how many
+// metadata-tree nodes a retention pass then reclaims.
+type markB struct {
+	Blobs             int     `json:"blobs"`
+	Versions          int     `json:"versions"`
+	LiveChunks        int     `json:"live_chunks"`
+	NodesVisited      int     `json:"nodes_visited"`
+	DurationMS        float64 `json:"duration_ms"`
+	ChunksPerSec      float64 `json:"chunks_per_sec"`
+	NaiveDurationMS   float64 `json:"naive_duration_ms"`
+	NaiveChunksPerSec float64 `json:"naive_chunks_per_sec"`
+	SpeedupVsNaive    float64 `json:"speedup_vs_naive"`
+	NodesBefore       int     `json:"nodes_before_reclaim"`
+	NodesSwept        int     `json:"nodes_swept"`
+	NodesAfter        int     `json:"nodes_after_reclaim"`
 }
 
 type sweepB struct {
@@ -272,6 +300,170 @@ func runLargeBench(providers, chunks int) (*sweepB, *latB, error) {
 		}, nil
 }
 
+// runMarkBench measures the mark phase over a shared-subtree-heavy
+// population: `blobs` BLOBs, each with one base version writing its
+// share of `liveChunks` slots and `versions` overwrite versions each
+// rewriting a 64-slot window — so consecutive versions share almost
+// their whole trees. The naive baseline re-walks every version's full
+// tree single-threaded (exactly the pre-PR mark); the measured mark is
+// gc's pruned, parallel one. Both are run `reps` times, best time kept.
+// Afterwards a keep-last-1 retention pass plus a sweep measures
+// metadata-node reclamation.
+func runMarkBench(providers, liveChunks, versions int) (*markB, error) {
+	const (
+		blobs     = 8
+		chunkSize = 256
+		window    = 64
+		reps      = 3
+	)
+	c, err := core.NewCluster(core.Options{
+		Providers: providers, Monitoring: false, GCGraceEpochs: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl := c.Client("bench")
+	ctx := context.Background()
+
+	base := liveChunks / blobs
+	if base < window*2 {
+		base = window * 2
+	}
+	buf := make([]byte, chunkSize)
+	for b := 0; b < blobs; b++ {
+		info, err := cl.Create(chunkSize)
+		if err != nil {
+			return nil, err
+		}
+		bh, err := cl.Open(ctx, info.ID)
+		if err != nil {
+			return nil, err
+		}
+		w, err := bh.NewWriter(ctx, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < base; i++ {
+			copy(buf, fmt.Sprintf("mark-%d-%d", b, i))
+			if _, err := w.Write(buf); err != nil {
+				return nil, err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		// Overwrite versions: each rewrites one 64-slot window at a
+		// shifting offset, so every version shares all but ~window leaves
+		// and one root path with its predecessor.
+		over := make([]byte, window*chunkSize)
+		for v := 0; v < versions; v++ {
+			off := int64((v * 97 % (base - window))) * chunkSize
+			for s := 0; s < window; s++ {
+				copy(over[s*chunkSize:], fmt.Sprintf("mark-%d-v%d-%d", b, v, s))
+			}
+			if _, err := cl.Write(info.ID, off, over); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Naive baseline: the pre-PR mark — one full leaf walk per version,
+	// one goroutine, one global set.
+	naive := func() (int, error) {
+		marked := make(map[chunk.ID]bool)
+		for _, blob := range c.VM.Blobs() {
+			vs, err := c.VM.Versions(blob)
+			if err != nil {
+				return 0, err
+			}
+			tree, err := c.VM.Tree(blob)
+			if err != nil {
+				return 0, err
+			}
+			for _, v := range vs {
+				if v.Version == 0 {
+					continue
+				}
+				err := tree.Walk(v.Version, 0, tree.Span(), func(_ int64, d chunk.Desc) error {
+					if !d.ID.IsZero() {
+						marked[d.ID] = true
+					}
+					return nil
+				})
+				if err != nil {
+					return 0, err
+				}
+			}
+		}
+		return len(marked), nil
+	}
+	var naiveChunks int
+	naiveBest := time.Duration(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		n, err := naive()
+		if err != nil {
+			return nil, err
+		}
+		if d := time.Since(t0); d < naiveBest {
+			naiveBest = d
+		}
+		naiveChunks = n
+	}
+
+	var mrep struct {
+		blobs, versions, chunks, nodes int
+	}
+	markBest := time.Duration(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		rep, err := c.GC.Mark(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if d := time.Since(t0); d < markBest {
+			markBest = d
+		}
+		mrep.blobs, mrep.versions, mrep.chunks, mrep.nodes = rep.Blobs, rep.Versions, rep.Chunks, rep.Nodes
+	}
+	// The pruned mark must reach exactly the naive walk's chunk set — a
+	// free equivalence check on every bench run.
+	if mrep.chunks != naiveChunks {
+		return nil, fmt.Errorf("mark bench: pruned mark found %d chunks, naive walk %d", mrep.chunks, naiveChunks)
+	}
+
+	// Metadata-node reclamation: retire everything but the newest
+	// version, then sweep.
+	nodesBefore := c.VM.MetaStore().Len()
+	for _, blob := range c.VM.Blobs() {
+		if err := c.VM.SetRetention(blob, vmanager.Retention{KeepLast: 1}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := c.GC.EnforceRetention(ctx, time.Now()); err != nil {
+		return nil, err
+	}
+	srep, err := c.GC.Sweep(ctx, false)
+	if err != nil {
+		return nil, err
+	}
+
+	return &markB{
+		Blobs:             mrep.blobs,
+		Versions:          mrep.versions,
+		LiveChunks:        mrep.chunks,
+		NodesVisited:      mrep.nodes,
+		DurationMS:        float64(markBest.Microseconds()) / 1000,
+		ChunksPerSec:      float64(mrep.chunks) / markBest.Seconds(),
+		NaiveDurationMS:   float64(naiveBest.Microseconds()) / 1000,
+		NaiveChunksPerSec: float64(naiveChunks) / naiveBest.Seconds(),
+		SpeedupVsNaive:    naiveBest.Seconds() / markBest.Seconds(),
+		NodesBefore:       nodesBefore,
+		NodesSwept:        srep.NodesSwept,
+		NodesAfter:        c.VM.MetaStore().Len(),
+	}, nil
+}
+
 // readBaseline loads a previous report (the committed trajectory file)
 // before it is overwritten, for the delta print.
 func readBaseline(path string) *benchReport {
@@ -299,6 +491,16 @@ func printDelta(base *benchReport, cur *benchReport) {
 			base.Sweep.ChunksPerSec, cur.Sweep.ChunksPerSec,
 			cur.Sweep.ChunksPerSec/base.Sweep.ChunksPerSec)
 	}
+	if m := cur.Mark; m != nil {
+		fmt.Fprintf(os.Stderr,
+			"mark %dk chunks / %d versions: pruned+parallel %.0f chunks/s vs naive full-rewalk %.0f (%.1fx); metadata nodes %d -> %d (swept %d)\n",
+			m.LiveChunks/1000, m.Versions, m.ChunksPerSec, m.NaiveChunksPerSec,
+			m.SpeedupVsNaive, m.NodesBefore, m.NodesAfter, m.NodesSwept)
+		if base.Mark != nil && base.Mark.ChunksPerSec > 0 {
+			fmt.Fprintf(os.Stderr, "mark vs baseline: %.0f -> %.0f chunks/s (%.2fx)\n",
+				base.Mark.ChunksPerSec, m.ChunksPerSec, m.ChunksPerSec/base.Mark.ChunksPerSec)
+		}
+	}
 	if cur.SweepLarge == nil {
 		return
 	}
@@ -324,10 +526,11 @@ func printDelta(base *benchReport, cur *benchReport) {
 
 // runBench measures (1) mark-and-sweep throughput over a cluster holding
 // about `chunks` chunks, half of them unreferenced orphans, (2) the
-// large sweep plane with concurrent foreground-delete latency, and (3)
+// large sweep plane with concurrent foreground-delete latency, (3) the
+// mark-phase plane over multi-version shared-subtree BLOBs, and (4)
 // streaming read throughput with and without the lifecycle runner
 // sweeping concurrently.
-func runBench(providers, chunks, large int, out string) error {
+func runBench(providers, chunks, large, markChunks, markVersions int, out string) error {
 	baseline := readBaseline(out)
 	const chunkSize = 4 << 10
 	c, err := core.NewCluster(core.Options{
@@ -442,6 +645,12 @@ func runBench(providers, chunks, large int, out string) error {
 	}
 	if large > 0 {
 		report.SweepLarge, report.Deletes, err = runLargeBench(providers, large)
+		if err != nil {
+			return err
+		}
+	}
+	if markChunks > 0 {
+		report.Mark, err = runMarkBench(providers, markChunks, markVersions)
 		if err != nil {
 			return err
 		}

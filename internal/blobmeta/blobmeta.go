@@ -13,7 +13,6 @@ package blobmeta
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -64,13 +63,63 @@ type Store interface {
 	Len() int
 }
 
-// MemStore is an in-memory metadata provider.
+// NodeStore is the optional Store extension the metadata sweep
+// (internal/gc) consumes: key enumeration and node deletion. Nodes stay
+// immutable — Delete exists only so the sweep can drop nodes reachable
+// solely from retired or deleted versions.
+type NodeStore interface {
+	Store
+	// Keys returns a snapshot of the stored node keys in no particular
+	// order. Keys inserted or removed concurrently may or may not appear.
+	Keys() []NodeKey
+	// Delete removes a node; deleting an absent key is a no-op.
+	Delete(k NodeKey) error
+}
+
+// fnv64 constants (FNV-1a), inlined so per-access hashing allocates
+// nothing — hashKey runs on every metadata Get/Put via Ring.pick and the
+// MemStore stripe selection.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvWord folds one key word into an FNV-1a state, byte by byte in
+// little-endian order (the same sequence hash/fnv produced when the key
+// words were serialized through a scratch buffer).
+func fnvWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// hashKey hashes a node key with zero allocations.
+func hashKey(k NodeKey) uint64 {
+	return fnvWord(fnvWord(fnvWord(fnvWord(fnvOffset64, k.Blob), k.Version), uint64(k.Lo)), uint64(k.Hi))
+}
+
+// memStripes is the number of lock stripes in a MemStore. Tree paths of
+// one version spread across stripes, so parallel mark workers walking
+// different blobs do not serialize on one lock.
+const memStripes = 16
+
+// memStripe is one independently locked shard of the node map.
+type memStripe struct {
+	mu sync.RWMutex
+	m  map[NodeKey]Node
+}
+
+// MemStore is an in-memory metadata provider. The node map is sharded
+// into lock stripes keyed by node-key hash (a different bit range than
+// Ring.pick consumes, so ring sharding does not collapse the stripes).
 type MemStore struct {
-	id   string
-	emit instrument.Emitter
-	now  func() time.Time
-	mu   sync.RWMutex
-	m    map[NodeKey]Node
+	id      string
+	emit    instrument.Emitter
+	now     func() time.Time
+	stripes [memStripes]memStripe
 }
 
 // NewMemStore returns an empty metadata provider. emit and now may be nil.
@@ -81,17 +130,28 @@ func NewMemStore(id string, emit instrument.Emitter, now func() time.Time) *MemS
 	if now == nil {
 		now = time.Now
 	}
-	return &MemStore{id: id, emit: emit, now: now, m: make(map[NodeKey]Node)}
+	s := &MemStore{id: id, emit: emit, now: now}
+	for i := range s.stripes {
+		s.stripes[i].m = make(map[NodeKey]Node)
+	}
+	return s
 }
 
 // ID returns the provider identity.
 func (s *MemStore) ID() string { return s.id }
 
+// stripe picks the lock stripe for a key, from the hash's upper bits
+// (Ring.pick consumes the low bits via modulo).
+func (s *MemStore) stripe(k NodeKey) *memStripe {
+	return &s.stripes[(hashKey(k)>>32)&(memStripes-1)]
+}
+
 // Put stores a node (idempotent).
 func (s *MemStore) Put(k NodeKey, n Node) error {
-	s.mu.Lock()
-	s.m[k] = n
-	s.mu.Unlock()
+	st := s.stripe(k)
+	st.mu.Lock()
+	st.m[k] = n
+	st.mu.Unlock()
 	s.emit.Emit(instrument.Event{
 		Time: s.now(), Actor: instrument.ActorMetaProvider, Node: s.id,
 		Op: instrument.OpMetaPut, Blob: k.Blob, Version: k.Version,
@@ -101,9 +161,10 @@ func (s *MemStore) Put(k NodeKey, n Node) error {
 
 // Get fetches a node.
 func (s *MemStore) Get(k NodeKey) (Node, bool, error) {
-	s.mu.RLock()
-	n, ok := s.m[k]
-	s.mu.RUnlock()
+	st := s.stripe(k)
+	st.mu.RLock()
+	n, ok := st.m[k]
+	st.mu.RUnlock()
 	s.emit.Emit(instrument.Event{
 		Time: s.now(), Actor: instrument.ActorMetaProvider, Node: s.id,
 		Op: instrument.OpMetaGet, Blob: k.Blob, Version: k.Version,
@@ -111,11 +172,39 @@ func (s *MemStore) Get(k NodeKey) (Node, bool, error) {
 	return n, ok, nil
 }
 
+// Delete removes a node (absent keys are a no-op). Implements NodeStore.
+func (s *MemStore) Delete(k NodeKey) error {
+	st := s.stripe(k)
+	st.mu.Lock()
+	delete(st.m, k)
+	st.mu.Unlock()
+	return nil
+}
+
+// Keys returns a snapshot of the stored node keys. Implements NodeStore.
+func (s *MemStore) Keys() []NodeKey {
+	out := make([]NodeKey, 0, s.Len())
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for k := range st.m {
+			out = append(out, k)
+		}
+		st.mu.RUnlock()
+	}
+	return out
+}
+
 // Len returns the number of stored nodes.
 func (s *MemStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.m)
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		n += len(st.m)
+		st.mu.RUnlock()
+	}
+	return n
 }
 
 // Ring shards nodes across several metadata providers by key hash,
@@ -133,15 +222,7 @@ func NewRing(stores ...Store) (*Ring, error) {
 }
 
 func (r *Ring) pick(k NodeKey) Store {
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, v := range []uint64{k.Blob, k.Version, uint64(k.Lo), uint64(k.Hi)} {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	return r.stores[h.Sum64()%uint64(len(r.stores))]
+	return r.stores[hashKey(k)%uint64(len(r.stores))]
 }
 
 // Put implements Store.
@@ -157,6 +238,44 @@ func (r *Ring) Len() int {
 		n += s.Len()
 	}
 	return n
+}
+
+// Keys implements NodeStore: the union of every shard's snapshot. Shards
+// that do not implement NodeStore contribute nothing — their nodes are
+// invisible to the metadata sweep and therefore never deleted (the safe
+// direction: a leak, not a lost node). Callers that act on the *absence*
+// of keys (e.g. forgetting a deleted BLOB once its nodes are gone) must
+// check NodesComplete first.
+func (r *Ring) Keys() []NodeKey {
+	var out []NodeKey
+	for _, s := range r.stores {
+		if ns, ok := s.(NodeStore); ok {
+			out = append(out, ns.Keys()...)
+		}
+	}
+	return out
+}
+
+// NodesComplete reports whether Keys enumerates every stored node —
+// true only when every shard implements NodeStore. The garbage
+// collector refuses to conclude "all nodes reclaimed" from a partial
+// enumeration.
+func (r *Ring) NodesComplete() bool {
+	for _, s := range r.stores {
+		if _, ok := s.(NodeStore); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Delete implements NodeStore, routing to the shard that owns the key.
+func (r *Ring) Delete(k NodeKey) error {
+	ns, ok := r.pick(k).(NodeStore)
+	if !ok {
+		return fmt.Errorf("blobmeta: shard for %v does not support node deletion", k)
+	}
+	return ns.Delete(k)
 }
 
 // Shards returns the per-shard node counts (balance diagnostics).
@@ -353,4 +472,54 @@ func (t *Tree) walk(ver uint64, nodeLo, nodeHi, lo, hi int64, visit func(int64, 
 		return err
 	}
 	return t.walk(n.RightVer, mid, nodeHi, lo, hi, visit)
+}
+
+// WalkNodes visits every tree node reachable from a version — inner
+// nodes and leaves alike — as (NodeKey, Node) pairs in depth-first
+// order. prune, when non-nil, is consulted with a subtree's key before
+// it is fetched: returning true skips the node and its whole subtree.
+//
+// Pruning is what makes marking all versions of a BLOB cost O(distinct
+// nodes) instead of O(versions × nodes): untouched subtrees are shared
+// across versions by reference, so a caller that records visited keys
+// and prunes on them re-descends each shared subtree exactly once —
+// node keys are immutable identities, and a key that was visited before
+// roots a subtree that was visited in full before. Version 0 (the empty
+// BLOB) has no nodes.
+func (t *Tree) WalkNodes(ver uint64, prune func(NodeKey) bool, visit func(NodeKey, Node) error) error {
+	if ver == 0 {
+		return nil
+	}
+	return t.walkNodes(ver, 0, t.span, prune, visit)
+}
+
+func (t *Tree) walkNodes(ver uint64, lo, hi int64, prune func(NodeKey) bool, visit func(NodeKey, Node) error) error {
+	if ver == 0 {
+		return nil
+	}
+	key := NodeKey{Blob: t.blob, Version: ver, Lo: lo, Hi: hi}
+	if prune != nil && prune(key) {
+		return nil
+	}
+	n, ok, err := t.store.Get(key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: missing node v%d [%d,%d)", ErrCorrupted, ver, lo, hi)
+	}
+	if hi-lo == 1 && !n.Leaf {
+		return fmt.Errorf("%w: non-leaf at unit range", ErrCorrupted)
+	}
+	if err := visit(key, n); err != nil {
+		return err
+	}
+	if hi-lo == 1 {
+		return nil
+	}
+	mid := lo + (hi-lo)/2
+	if err := t.walkNodes(n.LeftVer, lo, mid, prune, visit); err != nil {
+		return err
+	}
+	return t.walkNodes(n.RightVer, mid, hi, prune, visit)
 }

@@ -3,6 +3,7 @@ package blobmeta
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -318,6 +319,282 @@ func TestSnapshotSemanticsProperty(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashKeyMatchesFNV pins the inline hash to the reference FNV-1a
+// sequence the ring historically used (key words serialized
+// little-endian through hash/fnv), so replacing the allocation per
+// access did not reshuffle every shard assignment.
+func TestHashKeyMatchesFNV(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		k := NodeKey{
+			Blob: rng.Uint64(), Version: rng.Uint64(),
+			Lo: int64(rng.Uint64()), Hi: int64(rng.Uint64()),
+		}
+		h := fnv.New64a()
+		var buf [8]byte
+		for _, v := range []uint64{k.Blob, k.Version, uint64(k.Lo), uint64(k.Hi)} {
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(v >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+		if got, want := hashKey(k), h.Sum64(); got != want {
+			t.Fatalf("hashKey(%v) = %#x, reference fnv = %#x", k, got, want)
+		}
+	}
+}
+
+// TestRingAccessZeroAllocs: the per-access hash runs on every metadata
+// Get/Put; it must not allocate.
+func TestRingAccessZeroAllocs(t *testing.T) {
+	stores := make([]Store, 3)
+	for i := range stores {
+		stores[i] = NewMemStore(fmt.Sprintf("m%d", i), nil, nil)
+	}
+	ring, err := NewRing(stores...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NodeKey{Blob: 9, Version: 4, Lo: 0, Hi: 64}
+	if err := ring.Put(k, Node{LeftVer: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() { _ = hashKey(k) }); n != 0 {
+		t.Fatalf("hashKey allocates %.1f per run", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, _, err := ring.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("ring Get allocates %.1f per run", n)
+	}
+}
+
+// TestMemStoreNodeStore: Keys snapshots, Delete removes (absent keys a
+// no-op), Len stays consistent — through both MemStore and Ring.
+func TestMemStoreNodeStore(t *testing.T) {
+	stores := make([]Store, 3)
+	for i := range stores {
+		stores[i] = NewMemStore(fmt.Sprintf("m%d", i), nil, nil)
+	}
+	ring, err := NewRing(stores...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ns NodeStore = ring
+	keys := make([]NodeKey, 0, 100)
+	for i := int64(0); i < 100; i++ {
+		k := NodeKey{Blob: uint64(i % 7), Version: uint64(i), Lo: i, Hi: i + 1}
+		keys = append(keys, k)
+		if err := ns.Put(k, Node{Leaf: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ns.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+	got := map[NodeKey]bool{}
+	for _, k := range ns.Keys() {
+		if got[k] {
+			t.Fatalf("duplicate key in snapshot: %v", k)
+		}
+		got[k] = true
+	}
+	if len(got) != 100 {
+		t.Fatalf("Keys returned %d keys, want 100", len(got))
+	}
+	for _, k := range keys[:40] {
+		if err := ns.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ns.Delete(NodeKey{Blob: 999}); err != nil {
+		t.Fatalf("deleting absent key: %v", err)
+	}
+	if got := ns.Len(); got != 60 {
+		t.Fatalf("Len after deletes = %d, want 60", got)
+	}
+	for _, k := range keys[:40] {
+		if _, ok, _ := ns.Get(k); ok {
+			t.Fatalf("deleted key still present: %v", k)
+		}
+	}
+	for _, k := range keys[40:] {
+		if _, ok, _ := ns.Get(k); !ok {
+			t.Fatalf("surviving key vanished: %v", k)
+		}
+	}
+}
+
+// countingStore counts Gets, to prove the pruned walk never re-descends
+// a shared subtree.
+type countingStore struct {
+	Store
+	gets int
+}
+
+func (c *countingStore) Get(k NodeKey) (Node, bool, error) {
+	c.gets++
+	return c.Store.Get(k)
+}
+
+// TestWalkNodesPrunesSharedSubtrees: walking all versions of a BLOB with
+// a shared visited set costs exactly one Get per distinct node, and the
+// union of visited leaves equals every version's Walk output.
+func TestWalkNodesPrunesSharedSubtrees(t *testing.T) {
+	mem := NewMemStore("m1", nil, nil)
+	cs := &countingStore{Store: mem}
+	tr, err := NewTree(cs, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 writes a wide base; v2..v5 each touch two slots.
+	w1 := map[int64]chunk.Desc{}
+	for i := int64(0); i < 32; i++ {
+		w1[i] = desc(fmt.Sprintf("v1-%d", i))
+	}
+	if err := tr.Write(1, 0, w1); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(2); v <= 5; v++ {
+		w := map[int64]chunk.Desc{
+			int64(v): desc(fmt.Sprintf("v%d-a", v)),
+			40:       desc(fmt.Sprintf("v%d-b", v)),
+		}
+		if err := tr.Write(v, v-1, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cs.gets = 0
+	visited := map[NodeKey]struct{}{}
+	pruned := map[chunk.ID]bool{}
+	for v := uint64(5); v >= 1; v-- {
+		err := tr.WalkNodes(v,
+			func(k NodeKey) bool { _, seen := visited[k]; return seen },
+			func(k NodeKey, n Node) error {
+				visited[k] = struct{}{}
+				if n.Leaf && !n.Desc.ID.IsZero() {
+					pruned[n.Desc.ID] = true
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs.gets != len(visited) {
+		t.Fatalf("pruned walks did %d Gets over %d distinct nodes: shared subtrees re-descended", cs.gets, len(visited))
+	}
+	if got, want := len(visited), mem.Len(); got != want {
+		t.Fatalf("visited %d nodes, store holds %d: coverage gap", got, want)
+	}
+	naive := map[chunk.ID]bool{}
+	for v := uint64(1); v <= 5; v++ {
+		if err := tr.Walk(v, 0, tr.Span(), func(_ int64, d chunk.Desc) error {
+			naive[d.ID] = true
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(naive) != len(pruned) {
+		t.Fatalf("pruned chunk set %d != naive %d", len(pruned), len(naive))
+	}
+	for id := range naive {
+		if !pruned[id] {
+			t.Fatalf("naive chunk %v missing from pruned set", id.Short())
+		}
+	}
+}
+
+// Property: for any random version chain (overwrites, appends, holes)
+// and any retained subset of versions, the shared-subtree-pruned
+// node walk reaches exactly the chunk-ID set a naive per-version Walk
+// reaches.
+func TestPrunedWalkEquivalenceRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const span = 128
+		tr, err := NewTree(NewMemStore("m", nil, nil), 1, span)
+		if err != nil {
+			return false
+		}
+		nVersions := rng.Intn(10) + 2
+		tail := int64(0) // append frontier
+		for v := 1; v <= nVersions; v++ {
+			writes := map[int64]chunk.Desc{}
+			switch rng.Intn(3) {
+			case 0: // overwrite a random region
+				lo := int64(rng.Intn(span / 2))
+				for i := lo; i < lo+int64(rng.Intn(8)); i++ {
+					writes[i] = desc(fmt.Sprintf("s%d-v%d-%d", seed, v, i))
+				}
+			case 1: // append past the frontier
+				n := int64(rng.Intn(6))
+				for i := tail; i < tail+n && i < span; i++ {
+					writes[i] = desc(fmt.Sprintf("s%d-v%d-%d", seed, v, i))
+				}
+				tail += n
+			default: // scattered holes-and-slots
+				for i := 0; i < rng.Intn(5); i++ {
+					idx := int64(rng.Intn(span))
+					writes[idx] = desc(fmt.Sprintf("s%d-v%d-%d", seed, v, idx))
+				}
+			}
+			if err := tr.Write(uint64(v), uint64(v-1), writes); err != nil {
+				return false
+			}
+		}
+		// Random retained subset (retirement drops arbitrary versions).
+		var retained []uint64
+		for v := 1; v <= nVersions; v++ {
+			if rng.Intn(3) != 0 {
+				retained = append(retained, uint64(v))
+			}
+		}
+		naive := map[chunk.ID]bool{}
+		for _, v := range retained {
+			if err := tr.Walk(v, 0, span, func(_ int64, d chunk.Desc) error {
+				naive[d.ID] = true
+				return nil
+			}); err != nil {
+				return false
+			}
+		}
+		visited := map[NodeKey]struct{}{}
+		pruned := map[chunk.ID]bool{}
+		// Walk newest-first like the mark phase.
+		for i := len(retained) - 1; i >= 0; i-- {
+			err := tr.WalkNodes(retained[i],
+				func(k NodeKey) bool { _, seen := visited[k]; return seen },
+				func(k NodeKey, n Node) error {
+					visited[k] = struct{}{}
+					if n.Leaf && !n.Desc.ID.IsZero() {
+						pruned[n.Desc.ID] = true
+					}
+					return nil
+				})
+			if err != nil {
+				return false
+			}
+		}
+		if len(pruned) != len(naive) {
+			return false
+		}
+		for id := range naive {
+			if !pruned[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -14,8 +14,8 @@
 //     being marked live, so their exclusive chunks become sweep fodder
 //     instead of living forever.
 //
-//   - Sweep: an epoch-based mark-and-sweep pass. Mark enumerates the
-//     chunk descriptors of every retained version of every live BLOB
+//   - Sweep: an epoch-based mark-and-sweep pass. Mark walks the
+//     metadata trees of every retained version of every live BLOB
 //     (including descriptors republished by self-optimization repairs)
 //     plus the snapshots of deleted-but-pinned BLOBs; sweep pages through
 //     each provider's chunk inventory and purges unreferenced keys
@@ -26,6 +26,19 @@
 //     window: every provider's epoch is advanced before marking, and only
 //     unreferenced chunks whose Put-epoch tag is at least GraceEpochs
 //     windows old are reclaimed.
+//
+// The mark phase runs at metadata speed: BLOBs fan out over a bounded
+// worker pool (WithMarkWorkers), and within a BLOB the walk is node
+// aware — the versioned segment trees share every untouched subtree
+// across versions by reference, so the walk records visited node keys
+// and prunes descent at any subtree already seen, collapsing V full
+// re-walks into one walk plus each version's private path nodes. The
+// same node-level mark set feeds the metadata sweep: tree nodes
+// reachable only from retired or deleted versions are deleted from the
+// metadata stores (closing the "node space grows per version forever"
+// leak), with in-flight publications protected by a per-BLOB version
+// watermark and deleted-but-pinned BLOBs' nodes held until their pins
+// drain.
 //
 // Deletion fast path: DeleteBlob reclaims exactly (per-slot refcount
 // decrements) for single-version BLOBs and conservatively (provider-set
@@ -41,6 +54,7 @@ import (
 	"sync"
 	"time"
 
+	"blobseer/internal/blobmeta"
 	"blobseer/internal/chunk"
 	"blobseer/internal/instrument"
 	"blobseer/internal/metrics"
@@ -50,6 +64,34 @@ import (
 
 // ErrPinned reports an operation refused because of outstanding pins.
 var ErrPinned = errors.New("gc: version is pinned")
+
+// VersionManager is the lifecycle manager's view of the version manager.
+// *vmanager.Manager implements it; tests wrap it to inject faults (the
+// mark phase must distinguish a vanished BLOB from a failing metadata
+// plane and abort the sweep on the latter).
+type VersionManager interface {
+	Blobs() []uint64
+	DeletedBlobs() []uint64
+	Versions(blob uint64) ([]vmanager.VersionMeta, error)
+	Version(blob, version uint64) (vmanager.VersionMeta, error)
+	Tree(blob uint64) (*blobmeta.Tree, error)
+	DeleteExact(blob uint64) ([]vmanager.VersionSlots, error)
+	RetentionCandidates(blob uint64, now time.Time) ([]uint64, error)
+	RetireVersions(blob uint64, vers []uint64) (int, error)
+	MetaStore() blobmeta.Store
+	Forget(blob uint64) error
+}
+
+var _ VersionManager = (*vmanager.Manager)(nil)
+
+// blobGone reports whether a version-manager error means the BLOB
+// vanished between enumeration and use (deleted or never existed) — the
+// only errors the mark phase may skip. Anything else is a failing
+// metadata plane: marking must abort rather than leave a live BLOB's
+// chunks unmarked and purgeable.
+func blobGone(err error) bool {
+	return errors.Is(err, vmanager.ErrNoBlob) || errors.Is(err, vmanager.ErrDeleted)
+}
 
 // Providers is the lifecycle manager's access to the data-provider pool.
 // The in-process plane adapts core.Cluster; an RPC plane adapts
@@ -110,7 +152,23 @@ type SweepReport struct {
 	InGrace    int   // unreferenced chunks protected by the write-in-progress grace window
 	Swept      int   // unreferenced chunks reclaimed (counted, not removed, under DryRun)
 	SweptBytes int64 // payload bytes reclaimed
-	DryRun     bool
+
+	// Metadata-node sweep (zero when the metadata store does not
+	// implement blobmeta.NodeStore).
+	NodesScanned int // tree nodes examined in the metadata store
+	NodesLive    int // nodes reachable from a retained or pinned version
+	NodesKept    int // protected: deferred BLOBs' nodes, in-flight publications, post-snapshot BLOBs
+	NodesSwept   int // nodes reclaimed (counted, not removed, under DryRun)
+
+	DryRun bool
+}
+
+// MarkReport summarizes one standalone mark pass (see Manager.Mark).
+type MarkReport struct {
+	Blobs    int // live BLOBs walked
+	Versions int // version walks performed (shared-subtree-pruned walks included)
+	Chunks   int // distinct chunk IDs marked live
+	Nodes    int // distinct metadata-tree nodes visited
 }
 
 // RetentionReport summarizes one retention-enforcement pass.
@@ -128,21 +186,23 @@ type Stats struct {
 	DeferredBlobs int   // deleted BLOBs queued behind pins
 	SweptChunks   int64 // chunks reclaimed by sweeps so far
 	SweptBytes    int64 // bytes reclaimed by sweeps so far
+	SweptNodes    int64 // metadata-tree nodes reclaimed by sweeps so far
 	ReclaimedRefs int64 // refcount decrements issued by the deletion fast path
 	RetiredVers   int64 // versions retired by retention so far
 }
 
 // Manager is the storage-lifecycle actor.
 type Manager struct {
-	vm   *vmanager.Manager
+	vm   VersionManager
 	prov Providers
 	emit instrument.Emitter
 	now  func() time.Time
 
-	grace    uint64 // epochs of write-in-progress protection
-	pageSize int    // ListChunks page size
-	batch    int    // Purge batch size
-	workers  int    // providers paged/purged concurrently per sweep
+	grace       uint64 // epochs of write-in-progress protection
+	pageSize    int    // ListChunks page size
+	batch       int    // Purge batch size
+	workers     int    // providers paged/purged concurrently per sweep
+	markWorkers int    // BLOBs marked concurrently per pass
 
 	mu         sync.Mutex
 	pins       map[pinKey]int
@@ -173,6 +233,7 @@ type Manager struct {
 	deferredBlobs metrics.Gauge // queued deletions
 	sweptChunks   metrics.Counter
 	sweptBytes    metrics.Counter
+	sweptNodes    metrics.Counter
 	reclaimedRefs metrics.Counter
 	retiredVers   metrics.Counter
 }
@@ -199,10 +260,11 @@ func WithClock(now func() time.Time) Option {
 }
 
 // WithGraceEpochs sets how many whole sweep epochs an unreferenced chunk
-// is protected after its last Put (default 1). Grace 0 still protects
-// chunks stored after the sweep advanced the epoch (mid-mark stores),
-// but an unpublished writer that began flushing before the sweep loses
-// its chunks — use 0 only when no writers can be in flight.
+// is protected after its last Put (default 1). Grace 0 protects only
+// chunks stored after the pass advanced the epoch (which happens once
+// mark has succeeded); an unpublished writer that flushed before or
+// during the mark loses its chunks — use 0 only when no writers can be
+// in flight.
 func WithGraceEpochs(n int) Option {
 	return func(m *Manager) {
 		if n >= 0 {
@@ -231,20 +293,33 @@ func WithSweepWorkers(n int) Option {
 	}
 }
 
+// WithMarkWorkers bounds how many BLOBs one mark phase walks
+// concurrently (default 8, mirroring WithSweepWorkers). All versions of
+// one BLOB stay on one worker so the shared-subtree prune set needs no
+// cross-worker coordination.
+func WithMarkWorkers(n int) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.markWorkers = n
+		}
+	}
+}
+
 // New returns a lifecycle manager over the version manager and provider
 // pool.
-func New(vm *vmanager.Manager, prov Providers, opts ...Option) *Manager {
+func New(vm VersionManager, prov Providers, opts ...Option) *Manager {
 	m := &Manager{
 		vm: vm, prov: prov,
-		emit:       instrument.Nop{},
-		now:        time.Now,
-		grace:      1,
-		pageSize:   1024,
-		batch:      256,
-		workers:    8,
-		pins:       make(map[pinKey]int),
-		pinsByBlob: make(map[uint64]int),
-		deferred:   make(map[uint64]*deferredBlob),
+		emit:        instrument.Nop{},
+		now:         time.Now,
+		grace:       1,
+		pageSize:    1024,
+		batch:       256,
+		workers:     8,
+		markWorkers: 8,
+		pins:        make(map[pinKey]int),
+		pinsByBlob:  make(map[uint64]int),
+		deferred:    make(map[uint64]*deferredBlob),
 	}
 	for _, o := range opts {
 		o(m)
@@ -591,12 +666,21 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 
-	// Epoch first, mark second: any chunk stored after this point is
-	// tagged with the new epoch and therefore inside the grace window,
-	// so a writer racing the mark phase can never lose its flushes. A
-	// dry-run must not advance the epoch — repeated dry-runs would
-	// silently age real writers out of their grace protection — so it
-	// classifies against the epoch a real sweep would see (current + 1).
+	ms, err := m.mark(ctx)
+	if err != nil {
+		return rep, err
+	}
+
+	// Epochs advance only after mark succeeds: an aborted pass (flaky
+	// metadata plane, cancellation) must not age unpublished writers out
+	// of their grace protection — the same erosion rule dry-runs follow
+	// (they never advance, classifying against the epoch a real sweep
+	// would see). Advancing after mark keeps every racing writer safe at
+	// the default grace: a chunk flushed during the mark walks carries
+	// the pre-advance epoch E and classifies E+grace >= E+1 for any
+	// grace >= 1; a chunk flushed after the advance carries E+1 and is
+	// inside the window at any grace. Only grace 0 narrows: it protects
+	// just the stores that land after this advance (see WithGraceEpochs).
 	epochs := make(map[string]uint64, len(ids))
 	for _, id := range ids {
 		wg.Add(1)
@@ -626,11 +710,6 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 	}
 	wg.Wait()
 
-	marked, err := m.mark(ctx)
-	if err != nil {
-		return rep, err
-	}
-
 	if !dryRun {
 		// Open the pass's purged-ID set: from here until the deferred
 		// reset, foreground decrements filter against it instead of
@@ -646,6 +725,24 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 		}()
 	}
 
+	// The metadata-node sweep runs alongside the provider fan-out: it
+	// touches only the metadata stores, needs no epoch and no purge
+	// fence, and is one in-memory scan against the mark set.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res := m.sweepNodes(ctx, ms, dryRun)
+		mu.Lock()
+		rep.NodesScanned += res.scanned
+		rep.NodesLive += res.live
+		rep.NodesKept += res.kept
+		rep.NodesSwept += res.swept
+		mu.Unlock()
+		if res.err != nil {
+			fail(res.err)
+		}
+	}()
+
 	for _, id := range ids {
 		epoch, ok := epochs[id]
 		if !ok {
@@ -656,7 +753,7 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res := m.sweepProvider(ctx, id, epoch, marked, dryRun)
+			res := m.sweepProvider(ctx, id, epoch, ms.chunks, dryRun)
 			mu.Lock()
 			if res.counted {
 				rep.Providers++
@@ -680,6 +777,7 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 	if !dryRun {
 		m.sweptChunks.Add(int64(rep.Swept))
 		m.sweptBytes.Add(rep.SweptBytes)
+		m.sweptNodes.Add(int64(rep.NodesSwept))
 	}
 	m.emit.Emit(instrument.Event{
 		Time: rep.Time, Actor: instrument.ActorGC, Op: instrument.OpSweep,
@@ -788,40 +886,179 @@ func (m *Manager) recordPurged(ids []chunk.ID) {
 	m.fence.Unlock()
 }
 
-// mark enumerates every chunk ID that must survive the sweep: all
-// descriptors reachable from the retained versions of live BLOBs —
-// including descriptors republished by self-optimization repairs, which
-// appear as ordinary versions — plus the delete-time snapshots of
-// deferred (pinned) BLOBs.
-func (m *Manager) mark(ctx context.Context) (map[chunk.ID]bool, error) {
-	marked := make(map[chunk.ID]bool)
-	for _, blob := range m.vm.Blobs() {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+// markSet is the mark phase's output: every chunk ID and metadata-node
+// key that must survive the pass, plus the bookkeeping snapshots the
+// node sweep classifies against.
+type markSet struct {
+	chunks map[chunk.ID]bool             // live chunk IDs
+	nodes  map[blobmeta.NodeKey]struct{} // node keys reachable from a retained or pinned version
+	wm     map[uint64]uint64             // live blob -> highest published version at mark time
+	dead   []uint64                      // deleted, undeferred BLOBs (all their nodes are sweepable)
+
+	// deferred holds the deleted-but-pinned BLOBs: their delete-time
+	// snapshots keep chunks marked, and every one of their tree nodes is
+	// protected until the last pin drains.
+	deferred map[uint64]struct{}
+
+	blobs, versions int // walk diagnostics
+}
+
+func newMarkSet() *markSet {
+	return &markSet{
+		chunks:   make(map[chunk.ID]bool),
+		nodes:    make(map[blobmeta.NodeKey]struct{}),
+		wm:       make(map[uint64]uint64),
+		deferred: make(map[uint64]struct{}),
+	}
+}
+
+// markBlob walks every retained version of one live BLOB into ms,
+// newest version first: the newest walks its tree in full once and each
+// older version prunes at every subtree it shares with a younger one,
+// so the whole BLOB costs O(distinct nodes) metadata reads instead of
+// O(versions × nodes). A BLOB deleted between enumeration and walk is
+// skipped; any other version-manager or metadata error aborts the pass
+// (fail safe: an unmarked live chunk is a purge casualty).
+func (m *Manager) markBlob(ctx context.Context, blob uint64, ms *markSet) error {
+	versions, err := m.vm.Versions(blob)
+	if err != nil {
+		if blobGone(err) {
+			return nil
 		}
-		versions, err := m.vm.Versions(blob)
-		if err != nil {
-			continue // deleted between enumeration and walk
+		return fmt.Errorf("gc: mark blob %d: list versions: %w", blob, err)
+	}
+	tree, err := m.vm.Tree(blob)
+	if err != nil {
+		if blobGone(err) {
+			return nil
 		}
-		tree, err := m.vm.Tree(blob)
-		if err != nil {
-			continue
-		}
-		for _, v := range versions {
-			if v.Version == 0 {
-				continue
-			}
-			err := tree.Walk(v.Version, 0, tree.Span(), func(_ int64, d chunk.Desc) error {
-				if !d.ID.IsZero() {
-					marked[d.ID] = true
-				}
-				return nil
-			})
-			if err != nil {
-				return nil, fmt.Errorf("gc: mark blob %d v%d: %w", blob, v.Version, err)
-			}
+		return fmt.Errorf("gc: mark blob %d: open tree: %w", blob, err)
+	}
+	var wm uint64
+	for _, v := range versions {
+		if v.Version > wm {
+			wm = v.Version
 		}
 	}
+	ms.wm[blob] = wm
+	ms.blobs++
+	prune := func(k blobmeta.NodeKey) bool {
+		_, seen := ms.nodes[k]
+		return seen
+	}
+	visit := func(k blobmeta.NodeKey, n blobmeta.Node) error {
+		ms.nodes[k] = struct{}{}
+		if n.Leaf && !n.Desc.ID.IsZero() {
+			ms.chunks[n.Desc.ID] = true
+		}
+		return nil
+	}
+	for i := len(versions) - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		v := versions[i]
+		if v.Version == 0 {
+			continue
+		}
+		ms.versions++
+		if err := tree.WalkNodes(v.Version, prune, visit); err != nil {
+			return fmt.Errorf("gc: mark blob %d v%d: %w", blob, v.Version, err)
+		}
+	}
+	return nil
+}
+
+// mark enumerates everything that must survive the sweep: the chunk IDs
+// and tree-node keys reachable from the retained versions of live BLOBs
+// — including descriptors republished by self-optimization repairs,
+// which appear as ordinary versions — plus pinned versions and the
+// delete-time snapshots of deferred (pinned) BLOBs. BLOBs fan out over
+// a bounded worker pool; all versions of one BLOB stay on one worker so
+// its shared-subtree prune set is worker-local.
+func (m *Manager) mark(ctx context.Context) (*markSet, error) {
+	blobs := m.vm.Blobs()
+	workers := m.markWorkers
+	if workers > len(blobs) {
+		workers = len(blobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	locals := make([]*markSet, workers)
+	jobs := make(chan uint64)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel() // a mark failure aborts the whole pass; stop the fan-out
+	}
+	for w := 0; w < workers; w++ {
+		local := newMarkSet()
+		locals[w] = local
+		wg.Add(1)
+		go func(local *markSet) {
+			defer wg.Done()
+			for blob := range jobs {
+				if err := m.markBlob(wctx, blob, local); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(local)
+	}
+feed:
+	for _, blob := range blobs {
+		select {
+		case jobs <- blob:
+		case <-wctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Merge the worker-local sets. BLOBs are disjoint across workers, so
+	// node keys and watermarks never collide; chunk IDs can (shared
+	// content across BLOBs) and the boolean union is exactly right.
+	ms := newMarkSet()
+	for _, local := range locals {
+		for id := range local.chunks {
+			ms.chunks[id] = true
+		}
+		for k := range local.nodes {
+			ms.nodes[k] = struct{}{}
+		}
+		for b, wm := range local.wm {
+			ms.wm[b] = wm
+		}
+		ms.blobs += local.blobs
+		ms.versions += local.versions
+	}
+
+	// Deleted-BLOB snapshot for the node sweep, read BEFORE the barrier:
+	// a delete whose DeleteExact landed before this read may still be
+	// inserting its deferred entry, and the barrier below waits that
+	// handoff out — so by the deferred read every such BLOB is either in
+	// the deferred map (excluded from dead) or has no pins (sweepable).
+	// A BLOB deleted after this read is in neither set; its nodes are
+	// classified by the per-BLOB watermark instead, which only ever
+	// releases nodes unreachable from the versions walked above.
+	rawDead := m.vm.DeletedBlobs()
+
 	// Ordering barrier between the version walks above and the
 	// deferred-snapshot read below: DeleteBlob holds the fence's read
 	// side across its DeleteExact→snapshot handoff, so acquiring and
@@ -835,9 +1072,10 @@ func (m *Manager) mark(ctx context.Context) (map[chunk.ID]bool, error) {
 	m.fence.Lock()
 	m.fence.Unlock() //nolint:staticcheck // empty section is the barrier
 	m.mu.Lock()
-	for _, def := range m.deferred {
+	for blob, def := range m.deferred {
+		ms.deferred[blob] = struct{}{}
 		for _, id := range def.chunkIDs() {
-			marked[id] = true
+			ms.chunks[id] = true
 		}
 	}
 	pinned := make([]pinKey, 0, len(m.pins))
@@ -845,23 +1083,37 @@ func (m *Manager) mark(ctx context.Context) (map[chunk.ID]bool, error) {
 		pinned = append(pinned, k)
 	}
 	m.mu.Unlock()
+	for _, blob := range rawDead {
+		if _, ok := ms.deferred[blob]; !ok {
+			ms.dead = append(ms.dead, blob)
+		}
+	}
 	// Pinned versions of live BLOBs are marked even when retention has
 	// already retired them (a reader may have pinned between the
 	// retention pass's pin check and the retire): version metadata is
 	// gone but the tree nodes survive retirement, so the walk still
-	// resolves. Pinned versions of deleted BLOBs are covered by the
-	// deferred snapshots above.
+	// resolves — and marking their node keys keeps the node sweep from
+	// dropping them while the pin lasts. Pinned versions of deleted
+	// BLOBs are covered by the deferred snapshots above.
 	for _, k := range pinned {
 		if k.version == 0 {
 			continue
 		}
 		tree, err := m.vm.Tree(k.blob)
 		if err != nil {
-			continue // deleted: covered by the deferred snapshot above
+			if blobGone(err) {
+				continue // deleted: covered by the deferred snapshot above
+			}
+			return nil, fmt.Errorf("gc: mark pinned blob %d: open tree: %w", k.blob, err)
 		}
-		err = tree.Walk(k.version, 0, tree.Span(), func(_ int64, d chunk.Desc) error {
-			if !d.ID.IsZero() {
-				marked[d.ID] = true
+		prune := func(nk blobmeta.NodeKey) bool {
+			_, seen := ms.nodes[nk]
+			return seen
+		}
+		err = tree.WalkNodes(k.version, prune, func(nk blobmeta.NodeKey, n blobmeta.Node) error {
+			ms.nodes[nk] = struct{}{}
+			if n.Leaf && !n.Desc.ID.IsZero() {
+				ms.chunks[n.Desc.ID] = true
 			}
 			return nil
 		})
@@ -872,7 +1124,117 @@ func (m *Manager) mark(ctx context.Context) (map[chunk.ID]bool, error) {
 			return nil, fmt.Errorf("gc: mark pinned blob %d v%d: %w", k.blob, k.version, err)
 		}
 	}
-	return marked, nil
+	return ms, nil
+}
+
+// Mark runs the mark phase alone — no epoch advance, no reclamation —
+// and reports its coverage: how many BLOBs and versions were walked and
+// how many distinct chunks and tree nodes they reach. Diagnostics and
+// benchmarking; safe to run concurrently with sweeps and foreground
+// traffic.
+func (m *Manager) Mark(ctx context.Context) (MarkReport, error) {
+	ms, err := m.mark(ctx)
+	if err != nil {
+		return MarkReport{}, err
+	}
+	return MarkReport{
+		Blobs:    ms.blobs,
+		Versions: ms.versions,
+		Chunks:   len(ms.chunks),
+		Nodes:    len(ms.nodes),
+	}, nil
+}
+
+// nodeSweep is the metadata sweep's share of a pass.
+type nodeSweep struct {
+	scanned, live, kept, swept int
+	err                        error
+}
+
+// sweepNodes drops metadata-tree nodes reachable only from retired or
+// deleted versions. A node is released when no retained or pinned walk
+// visited it this pass AND its creating version cannot still be in
+// flight: either its BLOB is in the pass's dead set (deleted, no pins),
+// or the BLOB is live and the node's version is at or below the BLOB's
+// mark-time watermark — published version numbers are handed out
+// contiguously, so a publication racing this pass only ever creates
+// node keys above the watermark. Everything else (deferred BLOBs' nodes,
+// in-flight publications, BLOBs created after the mark snapshot) is
+// kept for a later pass. Dead BLOBs whose nodes all deleted cleanly are
+// forgotten in the version manager, ending their bookkeeping.
+func (m *Manager) sweepNodes(ctx context.Context, ms *markSet, dryRun bool) nodeSweep {
+	var res nodeSweep
+	ns, ok := m.vm.MetaStore().(blobmeta.NodeStore)
+	if !ok {
+		return res
+	}
+	// A store whose enumeration may be partial (a ring with shards that
+	// cannot list nodes) still gets its visible dead nodes deleted, but
+	// no BLOB may be forgotten on the strength of an incomplete scan —
+	// the invisible nodes would fall out of every future classification
+	// set and leak forever. The BLOB stays in DeletedBlobs and the next
+	// complete enumeration finishes the job.
+	complete := true
+	if pc, okc := ns.(interface{ NodesComplete() bool }); okc {
+		complete = pc.NodesComplete()
+	}
+	dead := make(map[uint64]bool, len(ms.dead))
+	clean := make(map[uint64]bool, len(ms.dead))
+	for _, b := range ms.dead {
+		dead[b] = true
+		clean[b] = true
+	}
+	for _, k := range ns.Keys() {
+		if err := ctx.Err(); err != nil {
+			res.err = err
+			return res
+		}
+		res.scanned++
+		if _, live := ms.nodes[k]; live {
+			// A BLOB deleted between its mark walk and the dead-set read
+			// has live-marked nodes AND sits in the dead set. Keeping the
+			// nodes is right (one-pass leak, reclaimed next pass, never
+			// over-freed) — but the BLOB must then NOT be forgotten this
+			// pass, or those nodes fall out of every future
+			// classification set and leak forever.
+			if dead[k.Blob] {
+				clean[k.Blob] = false
+			}
+			res.live++
+			continue
+		}
+		if _, def := ms.deferred[k.Blob]; def {
+			res.kept++
+			continue
+		}
+		wm, isLive := ms.wm[k.Blob]
+		switch {
+		case dead[k.Blob], isLive && k.Version <= wm:
+			if dryRun {
+				res.swept++
+				continue
+			}
+			if err := ns.Delete(k); err != nil {
+				res.kept++
+				clean[k.Blob] = false
+				if res.err == nil {
+					res.err = fmt.Errorf("gc: delete node %v: %w", k, err)
+				}
+				continue
+			}
+			res.swept++
+		default:
+			res.kept++
+		}
+	}
+	if !dryRun && complete {
+		for _, b := range ms.dead {
+			if clean[b] {
+				_ = m.vm.Forget(b)
+			}
+		}
+	}
+	return res
 }
 
 // Stats returns a snapshot of the lifecycle gauges and counters.
@@ -887,6 +1249,7 @@ func (m *Manager) Stats() Stats {
 		DeferredBlobs: deferred,
 		SweptChunks:   m.sweptChunks.Value(),
 		SweptBytes:    m.sweptBytes.Value(),
+		SweptNodes:    m.sweptNodes.Value(),
 		ReclaimedRefs: m.reclaimedRefs.Value(),
 		RetiredVers:   m.retiredVers.Value(),
 	}

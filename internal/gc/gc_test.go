@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -522,6 +525,537 @@ func TestSweepReclaimsLateCompletedStore(t *testing.T) {
 	if p.Stats().Chunks != 0 || p.Used() != 0 {
 		t.Fatalf("orphan not reclaimed: %d chunks, %d bytes", p.Stats().Chunks, p.Used())
 	}
+}
+
+// flakyVM wraps the real version manager and injects transient errors
+// into the calls the mark phase makes — the failure mode of a flaky
+// metadata plane, as opposed to a BLOB that legitimately vanished.
+type flakyVM struct {
+	gc.VersionManager
+	failVersions atomic.Bool
+	failTree     atomic.Bool
+}
+
+var errPlane = errors.New("metadata plane down")
+
+func (f *flakyVM) Versions(blob uint64) ([]vmanager.VersionMeta, error) {
+	if f.failVersions.Load() {
+		return nil, errPlane
+	}
+	return f.VersionManager.Versions(blob)
+}
+
+func (f *flakyVM) Tree(blob uint64) (*blobmeta.Tree, error) {
+	if f.failTree.Load() {
+		return nil, errPlane
+	}
+	return f.VersionManager.Tree(blob)
+}
+
+// flakyMeta is a metadata store whose Gets can be made to fail — the
+// mid-walk flavor of the same failure.
+type flakyMeta struct {
+	*blobmeta.MemStore
+	fail atomic.Bool
+}
+
+func (f *flakyMeta) Get(k blobmeta.NodeKey) (blobmeta.Node, bool, error) {
+	if f.fail.Load() {
+		return blobmeta.Node{}, false, errPlane
+	}
+	return f.MemStore.Get(k)
+}
+
+// TestSweepAbortsOnMarkErrors: a transient (non-not-found) error from
+// the version manager or the metadata store during mark must abort the
+// sweep — never silently skip the BLOB, whose live chunks would then be
+// unmarked and purged. Regression: mark used to `continue` on any
+// Versions/Tree error.
+func TestSweepAbortsOnMarkErrors(t *testing.T) {
+	meta := &flakyMeta{MemStore: blobmeta.NewMemStore("m1", nil, nil)}
+	vm := vmanager.New(meta, vmanager.WithSpan(1<<20))
+	fvm := &flakyVM{VersionManager: vm}
+	pm := pmanager.New(pmanager.WithTTL(0))
+	p := provider.New("p00", "z0", 0)
+	if err := pm.Register(pmanager.Info{ID: "p00", Zone: "z0"}); err != nil {
+		t.Fatal(err)
+	}
+	dir := client.DirectoryFunc(func(context.Context, string) (client.Conn, error) {
+		return p, nil
+	})
+	cl := client.New("alice", vm, pm, dir)
+	m := gc.New(fvm, testProviders{m: map[string]*provider.Provider{"p00": p}},
+		gc.WithGraceEpochs(0))
+
+	info, err := cl.Create(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Write(info.ID, 0, bytes.Repeat([]byte{'x'}, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	want := p.Stats().Chunks
+	if want == 0 {
+		t.Fatal("no chunks stored")
+	}
+	ctx := context.Background()
+
+	fvm.failVersions.Store(true)
+	if _, err := m.Sweep(ctx, false); !errors.Is(err, errPlane) {
+		t.Fatalf("sweep with failing Versions: %v, want errPlane", err)
+	}
+	if got := p.Stats().Chunks; got != want {
+		t.Fatalf("failing Versions purged a live blob: %d chunks, want %d", got, want)
+	}
+	// An aborted pass must not advance the sweep epoch: repeated
+	// transient failures would otherwise age unpublished writers out of
+	// their grace protection without any sweep completing.
+	if e, err := p.Epoch(); err != nil || e != 0 {
+		t.Fatalf("epoch after aborted sweep = %d (%v), want 0", e, err)
+	}
+	fvm.failVersions.Store(false)
+
+	fvm.failTree.Store(true)
+	if _, err := m.Sweep(ctx, false); !errors.Is(err, errPlane) {
+		t.Fatalf("sweep with failing Tree: %v, want errPlane", err)
+	}
+	if got := p.Stats().Chunks; got != want {
+		t.Fatalf("failing Tree purged a live blob: %d chunks, want %d", got, want)
+	}
+	fvm.failTree.Store(false)
+
+	meta.fail.Store(true)
+	if _, err := m.Sweep(ctx, false); !errors.Is(err, errPlane) {
+		t.Fatalf("sweep with failing node store: %v, want errPlane", err)
+	}
+	if got := p.Stats().Chunks; got != want {
+		t.Fatalf("failing node store purged a live blob: %d chunks, want %d", got, want)
+	}
+	meta.fail.Store(false)
+
+	rep, err := m.Sweep(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Live != want || rep.Swept != 0 || p.Stats().Chunks != want {
+		t.Fatalf("healthy sweep = %+v (chunks %d), want Live %d", rep, p.Stats().Chunks, want)
+	}
+}
+
+// reachableNodes returns the distinct node keys reachable from the given
+// versions of a BLOB (the expected survivors of a metadata sweep).
+func reachableNodes(t *testing.T, c *core.Cluster, blob uint64, versions ...uint64) int {
+	t.Helper()
+	tree, err := c.VM.Tree(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[blobmeta.NodeKey]struct{}{}
+	for _, v := range versions {
+		err := tree.WalkNodes(v,
+			func(k blobmeta.NodeKey) bool { _, ok := seen[k]; return ok },
+			func(k blobmeta.NodeKey, _ blobmeta.Node) error {
+				seen[k] = struct{}{}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return len(seen)
+}
+
+// TestNodeSweepAcceptance: the metadata sweep reclaims every node
+// reachable only from retired or deleted versions — the node store's
+// Len returns to the exact expected baseline — and never drops a node
+// reachable from a retained, pinned, or deferred version.
+func TestNodeSweepAcceptance(t *testing.T) {
+	c := newCluster(t, core.Options{Providers: 3, Monitoring: false, GCGraceEpochs: -1})
+	cl := c.Client("alice")
+	ctx := context.Background()
+	meta := c.VM.MetaStore()
+
+	// Blob A: four versions fully overwriting the same four slots, so
+	// each superseded version's leaves are reachable only from itself.
+	a, err := cl.Create(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := cl.Write(a.ID, 0, bytes.Repeat([]byte{byte('a' + i)}, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.VM.SetRetention(a.ID, vmanager.Retention{KeepLast: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GC.EnforceRetention(ctx, t0); err != nil {
+		t.Fatal(err)
+	}
+	wantA := reachableNodes(t, c, a.ID, 4)
+	rep, err := c.GC.Sweep(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NodesSwept == 0 {
+		t.Fatalf("retirement sweep reclaimed no nodes: %+v", rep)
+	}
+	if got := meta.Len(); got != wantA {
+		t.Fatalf("nodes after retirement sweep = %d, want %d (reachable from v4)", got, wantA)
+	}
+
+	// Blob B: a version that is retired *while pinned* (the pin/retire
+	// race) keeps all its nodes and chunks until the pin drains.
+	b, err := cl.Create(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Write(b.ID, 0, bytes.Repeat([]byte{byte('p' + i)}, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.GC.Pin(b.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.VM.RetireVersions(b.ID, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	wantBBoth := reachableNodes(t, c, b.ID, 1, 2)
+	chunksBefore := totalChunks(c)
+	rep, err = c.GC.Sweep(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swept != 0 || totalChunks(c) != chunksBefore {
+		t.Fatalf("sweep dropped a pinned-retired version's chunks: %+v", rep)
+	}
+	if got := meta.Len(); got != wantA+wantBBoth {
+		t.Fatalf("nodes with pinned-retired version = %d, want %d", got, wantA+wantBBoth)
+	}
+
+	// Pin drains: v1's exclusive nodes and chunks become reclaimable.
+	c.GC.Unpin(b.ID, 1)
+	wantB := reachableNodes(t, c, b.ID, 2)
+	if _, err := c.GC.Sweep(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := meta.Len(); got != wantA+wantB {
+		t.Fatalf("nodes after pin drain = %d, want %d", got, wantA+wantB)
+	}
+
+	// Deferred: a deleted-but-pinned BLOB keeps every node until the
+	// last pin drains, then a sweep reclaims them all and the version
+	// manager forgets the BLOB.
+	bh, err := cl.Open(ctx, a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := bh.NewReader(ctx, 0, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GC.DeleteBlob(ctx, a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GC.Sweep(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := meta.Len(); got != wantA+wantB {
+		t.Fatalf("nodes while deferred = %d, want %d (deferred blob's nodes protected)", got, wantA+wantB)
+	}
+	if _, err := io.Copy(io.Discard, rd); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GC.Sweep(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := meta.Len(); got != wantB {
+		t.Fatalf("nodes after drain sweep = %d, want %d (deleted blob reclaimed)", got, wantB)
+	}
+	if got := c.VM.DeletedBlobs(); len(got) != 0 {
+		t.Fatalf("deleted blobs not forgotten: %v", got)
+	}
+
+	// Delete B too: the node store returns to exactly empty.
+	if err := c.GC.DeleteBlob(ctx, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GC.Sweep(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := meta.Len(); got != 0 {
+		t.Fatalf("nodes after deleting everything = %d, want 0", got)
+	}
+	if got := totalChunks(c); got != 0 {
+		t.Fatalf("chunks after deleting everything = %d, want 0", got)
+	}
+}
+
+// blindStore hides a MemStore's NodeStore methods: a ring shard that
+// cannot enumerate or delete nodes.
+type blindStore struct {
+	s *blobmeta.MemStore
+}
+
+func (b blindStore) Put(k blobmeta.NodeKey, n blobmeta.Node) error { return b.s.Put(k, n) }
+func (b blindStore) Get(k blobmeta.NodeKey) (blobmeta.Node, bool, error) {
+	return b.s.Get(k)
+}
+func (b blindStore) Len() int { return b.s.Len() }
+
+// TestNodeSweepPartialRingNeverForgets: a ring with a shard that cannot
+// list nodes must never conclude a deleted BLOB is fully reclaimed —
+// forgetting it would orphan the invisible nodes forever. The BLOB
+// stays in DeletedBlobs so a later complete enumeration can finish.
+func TestNodeSweepPartialRingNeverForgets(t *testing.T) {
+	full := blobmeta.NewMemStore("m0", nil, nil)
+	blind := blindStore{s: blobmeta.NewMemStore("m1", nil, nil)}
+	ring, err := blobmeta.NewRing(full, blind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := vmanager.New(ring, vmanager.WithSpan(1<<20))
+	pm := pmanager.New(pmanager.WithTTL(0))
+	p := provider.New("p00", "z0", 0)
+	if err := pm.Register(pmanager.Info{ID: "p00", Zone: "z0"}); err != nil {
+		t.Fatal(err)
+	}
+	dir := client.DirectoryFunc(func(context.Context, string) (client.Conn, error) {
+		return p, nil
+	})
+	cl := client.New("alice", vm, pm, dir)
+	m := gc.New(vm, testProviders{m: map[string]*provider.Provider{"p00": p}},
+		gc.WithGraceEpochs(0))
+
+	info, err := cl.Create(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Write(info.ID, 0, bytes.Repeat([]byte{'n'}, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if blind.s.Len() == 0 {
+		t.Fatal("no nodes landed on the blind shard; widen the write")
+	}
+	ctx := context.Background()
+	if err := m.DeleteBlob(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Sweep(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	// The visible shard's dead nodes are reclaimed, the blind shard's
+	// survive, and — decisively — the BLOB is not forgotten.
+	if got := full.Len(); got != 0 {
+		t.Fatalf("visible shard still holds %d nodes", got)
+	}
+	if blind.s.Len() == 0 {
+		t.Fatal("blind shard's nodes vanished")
+	}
+	if got := vm.DeletedBlobs(); len(got) != 1 || got[0] != info.ID {
+		t.Fatalf("deleted blobs = %v, want [%d]: partial enumeration must not forget", got, info.ID)
+	}
+}
+
+// TestParallelMarkMatchesNaiveWalk is the end-to-end equivalence
+// harness: over a randomized population of multi-version BLOBs
+// (overwrites, appends, holes, retirements), the chunks surviving a
+// sweep driven by the pruned parallel mark are exactly the chunks a
+// naive per-version Walk enumerates — orphans die, live chunks live.
+func TestParallelMarkMatchesNaiveWalk(t *testing.T) {
+	c := newCluster(t, core.Options{Providers: 3, Monitoring: false, GCGraceEpochs: -1})
+	cl := c.Client("alice")
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+
+	for b := 0; b < 10; b++ {
+		info, err := cl.Create(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nVers := rng.Intn(5) + 1
+		for v := 0; v < nVers; v++ {
+			switch rng.Intn(3) {
+			case 0: // overwrite at a random chunk-aligned offset
+				off := int64(rng.Intn(8)) * 128
+				data := []byte(fmt.Sprintf("b%d-v%d-ow-%032d", b, v, rng.Int63()))
+				if _, err := cl.Write(info.ID, off, data); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // append
+				data := bytes.Repeat([]byte{byte(rng.Intn(256))}, 128*(rng.Intn(3)+1))
+				if _, err := cl.Append(info.ID, data); err != nil {
+					t.Fatal(err)
+				}
+			default: // sparse write far out (holes in between)
+				off := int64(rng.Intn(64)+16) * 128
+				data := []byte(fmt.Sprintf("b%d-v%d-sp-%032d", b, v, rng.Int63()))
+				if _, err := cl.Write(info.ID, off, data); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Random retirement of a non-latest version.
+		if nVers > 2 && rng.Intn(2) == 0 {
+			if _, err := c.VM.RetireVersions(info.ID, []uint64{uint64(rng.Intn(nVers-1) + 1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// The naive mark: one full leaf walk per retained version.
+	naive := map[chunk.ID]bool{}
+	for _, blob := range c.VM.Blobs() {
+		versions, err := c.VM.Versions(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := c.VM.Tree(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range versions {
+			if v.Version == 0 {
+				continue
+			}
+			if err := tree.Walk(v.Version, 0, tree.Span(), func(_ int64, d chunk.Desc) error {
+				naive[d.ID] = true
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Strand orphans the sweep must kill.
+	ids := c.Providers()
+	for i := 0; i < 20; i++ {
+		payload := []byte(fmt.Sprintf("orphan-%d", i))
+		p, _ := c.Provider(ids[i%len(ids)])
+		if err := p.Store(ctx, "stray", chunk.Sum(payload), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := c.GC.Sweep(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+
+	surviving := map[chunk.ID]bool{}
+	for _, id := range ids {
+		p, _ := c.Provider(id)
+		var after chunk.ID
+		for {
+			page, more, err := p.ListChunks(ctx, after, 512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, info := range page {
+				surviving[info.ID] = true
+			}
+			if len(page) > 0 {
+				after = page[len(page)-1].ID
+			}
+			if !more {
+				break
+			}
+		}
+	}
+	if len(surviving) != len(naive) {
+		t.Fatalf("surviving chunks %d != naive mark set %d", len(surviving), len(naive))
+	}
+	for id := range naive {
+		if !surviving[id] {
+			t.Fatalf("live chunk %s purged", id.Short())
+		}
+	}
+}
+
+// TestParallelMarkVsConcurrentLifecycle hammers the parallel mark
+// against concurrent publishes, deletes, retention and pin-drains under
+// -race, then checks convergence: once everything is deleted, sweeps
+// drive providers to zero chunks and the metadata store to zero nodes.
+func TestParallelMarkVsConcurrentLifecycle(t *testing.T) {
+	c := newCluster(t, core.Options{Providers: 3, Monitoring: false})
+	cl := c.Client("alice")
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var sweeps sync.WaitGroup
+	sweeps.Add(1)
+	go func() {
+		defer sweeps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.GC.Sweep(ctx, false); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := c.GC.EnforceRetention(ctx, time.Now()); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+
+	var writers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 12; i++ {
+				info, err := cl.Create(256)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Multi-version blob: publishes race the mark walks.
+				for v := 0; v < 3; v++ {
+					payload := bytes.Repeat([]byte{byte('a' + (w+i+v)%5)}, 512)
+					if _, err := cl.Write(info.ID, 0, payload); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if err := c.VM.SetRetention(info.ID, vmanager.Retention{KeepLast: 2}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					// Pinned reader rides through the delete; Close drains
+					// the deferred reclaim mid-sweep.
+					if b, err := cl.Open(ctx, info.ID); err == nil {
+						if rd, err := b.NewReader(ctx, 0, 0, -1); err == nil {
+							_ = c.GC.DeleteBlob(ctx, info.ID)
+							_, _ = io.Copy(io.Discard, rd)
+							_ = rd.Close()
+							continue
+						}
+					}
+				}
+				_ = c.GC.DeleteBlob(ctx, info.ID)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	sweeps.Wait()
+
+	// Everything is deleted: sweeps must converge chunks AND metadata
+	// nodes to zero, and every deleted blob must end up forgotten.
+	waitFor(t, "sweeps to reclaim chunks and nodes", func() bool {
+		if _, err := c.GC.Sweep(ctx, false); err != nil {
+			t.Fatal(err)
+		}
+		return totalChunks(c) == 0 && c.VM.MetaStore().Len() == 0 && len(c.VM.DeletedBlobs()) == 0
+	})
 }
 
 // TestSweepDryRunRemovesNothing: dry-run classifies without purging.

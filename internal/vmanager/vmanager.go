@@ -205,6 +205,45 @@ func (m *Manager) Blobs() []uint64 {
 	return out
 }
 
+// DeletedBlobs lists BLOBs marked deleted but not yet forgotten, in
+// ascending order. Their metadata-tree nodes are still in the metadata
+// store; the garbage collector's node sweep reclaims them and then
+// calls Forget.
+func (m *Manager) DeletedBlobs() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, 0)
+	for id, st := range m.blobs {
+		if st.deleted {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Forget drops a deleted BLOB's bookkeeping entirely, ending its
+// DeletedBlobs listing. Only the garbage collector calls it, after the
+// BLOB's tree nodes have been reclaimed. Forgetting a live BLOB is
+// refused; forgetting an unknown one is a no-op (sweeps may retry).
+func (m *Manager) Forget(blob uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.blobs[blob]
+	if !ok {
+		return nil
+	}
+	if !st.deleted {
+		return fmt.Errorf("vmanager: blob %d is live, refusing to forget", blob)
+	}
+	delete(m.blobs, blob)
+	return nil
+}
+
+// MetaStore returns the metadata store the manager persists trees into —
+// the garbage collector's node-sweep surface.
+func (m *Manager) MetaStore() blobmeta.Store { return m.store }
+
 // AssignWrite admits a write of length bytes at a fixed offset and
 // returns its ticket.
 func (m *Manager) AssignWrite(blob uint64, user string, offset, length int64) (Ticket, error) {

@@ -458,3 +458,41 @@ func TestRetentionCandidatesAndRetire(t *testing.T) {
 		t.Fatalf("versions after retire = %v", vers)
 	}
 }
+
+// TestDeletedBlobsAndForget covers the node sweep's bookkeeping surface:
+// deleted BLOBs stay listed until Forget, live BLOBs refuse to be
+// forgotten, and MetaStore exposes the tree persistence.
+func TestDeletedBlobsAndForget(t *testing.T) {
+	store := blobmeta.NewMemStore("m1", nil, nil)
+	m := New(store, WithSpan(64))
+	if m.MetaStore() != blobmeta.Store(store) {
+		t.Fatal("MetaStore does not expose the backing store")
+	}
+	a, _ := m.Create("u", 64, false)
+	b, _ := m.Create("u", 64, false)
+	if got := m.DeletedBlobs(); len(got) != 0 {
+		t.Fatalf("deleted before any delete = %v", got)
+	}
+	if err := m.Forget(a.ID); err == nil {
+		t.Fatal("forgetting a live blob must refuse")
+	}
+	if _, err := m.DeleteExact(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.DeletedBlobs(); len(got) != 1 || got[0] != a.ID {
+		t.Fatalf("deleted = %v, want [%d]", got, a.ID)
+	}
+	if got := m.Blobs(); len(got) != 1 || got[0] != b.ID {
+		t.Fatalf("live = %v, want [%d]", got, b.ID)
+	}
+	if err := m.Forget(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.DeletedBlobs(); len(got) != 0 {
+		t.Fatalf("deleted after forget = %v", got)
+	}
+	// Idempotent: a sweep may retry.
+	if err := m.Forget(a.ID); err != nil {
+		t.Fatalf("second forget: %v", err)
+	}
+}
