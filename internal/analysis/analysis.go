@@ -1,0 +1,161 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis surface this repository needs: a
+// named Analyzer with a Run function over a type-checked package, and
+// positioned Diagnostics. It exists because blobseer deliberately has
+// no third-party dependencies; the shapes mirror the upstream API so
+// the analyzers could be ported to a stock multichecker verbatim if a
+// vendored x/tools ever lands.
+//
+// The suite encodes invariants this codebase learned the hard way —
+// see the sibling packages lockio, ctxfirst, gcfailsafe, poolbuf and
+// idbytes, and the "Static analysis" section of the README.
+//
+// Deliberate, audited exceptions are annotated in the source under
+// review with a line or preceding-line comment of the form
+//
+//	//<analyzer>:allow <reason>
+//
+// (for example //lockio:allow close on a dead conn cannot stall). The
+// reason is mandatory: an allow comment without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in allow
+	// comments (//name:allow reason).
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run reports the package's violations through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// PkgPath is the import path under analysis. For a test-augmented
+	// variant it is the plain path of the package under test.
+	PkgPath string
+
+	// Facts carries repository-wide derived knowledge, computed once
+	// over every loaded package before analyzers run (see blockfacts).
+	// Keys are fact namespaces; analyzers that need none ignore it.
+	Facts map[string]any
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos unless the source line (or the
+// line above it) carries a matching allow comment.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowed reports whether an //<name>:allow comment covers the line at
+// position: on the same line (trailing comment) or on the line
+// immediately above (its own line). Malformed allow comments — no
+// reason given — do not suppress, and are themselves reported at the
+// line they failed to cover.
+func (p *Pass) allowed(position token.Position) bool {
+	for _, f := range p.Files {
+		fpos := p.Fset.Position(f.Pos())
+		if fpos.Filename != position.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				cpos := p.Fset.Position(c.Pos())
+				if cpos.Line != position.Line && cpos.Line != position.Line-1 {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), "//"+p.Analyzer.Name+":allow")
+				if !ok {
+					continue
+				}
+				if strings.TrimSpace(rest) == "" {
+					*p.diags = append(*p.diags, Diagnostic{
+						Analyzer: p.Analyzer.Name,
+						Pos:      position,
+						Message:  fmt.Sprintf("%s:allow comment needs a reason", p.Analyzer.Name),
+					})
+					continue
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run applies each analyzer to the package and returns the collected
+// diagnostics sorted by position.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, pkgPath string, facts map[string]any) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a, Fset: fset, Files: files,
+			Pkg: pkg, TypesInfo: info, PkgPath: pkgPath,
+			Facts: facts, diags: &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %s: %w", pkgPath, a.Name, err)
+		}
+	}
+	Sort(diags)
+	return diags, nil
+}
+
+// Sort orders diagnostics by file, line, column, then analyzer name.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// IsTestFile reports whether the file at pos is a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,129 @@
+// Package checktest is the fixture harness for the blobseer-vet
+// analyzers, in the mold of go/analysis/analysistest: a fixture package
+// under a GOPATH-style testdata/src tree annotates the lines it expects
+// diagnostics on with
+//
+//	// want `regexp` `another regexp`
+//
+// comments (double-quoted Go strings work too), Run type-checks the
+// fixture, executes the analyzers, and fails the test on any unexpected
+// diagnostic or unmatched expectation. Every expectation must be
+// consumed by exactly one diagnostic on its line, so both false
+// positives and false negatives fail loudly.
+package checktest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"blobseer/internal/analysis"
+	"blobseer/internal/analysis/blockfacts"
+	"blobseer/internal/analysis/load"
+)
+
+// expectation is one `// want` pattern anchored to a fixture line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// Run loads the fixture package at srcRoot/path, runs the analyzers
+// over it (with repository-wide facts computed across the fixture and
+// its fixture dependencies), and checks the diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, srcRoot, path string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	res, err := load.LoadFixture(srcRoot, path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	target := res.Pkgs[0]
+
+	wants := map[lineKey][]*expectation{}
+	for _, f := range target.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := res.Fset.Position(c.Pos())
+				patterns, err := wantPatterns(c.Text)
+				if err != nil {
+					t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				for _, re := range patterns {
+					k := lineKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	facts := map[string]any{blockfacts.FactsKey: blockfacts.Compute(res)}
+	diags, err := analysis.Run(analyzers, res.Fset, target.Files, target.Types, target.Info, target.PkgPath, facts)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", path, err)
+	}
+
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		if !consume(wants[k], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for k, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matched `%s`", k.file, k.line, e.re)
+			}
+		}
+	}
+}
+
+// consume marks the first unmatched expectation whose pattern matches
+// the message, reporting whether one was found.
+func consume(exps []*expectation, message string) bool {
+	for _, e := range exps {
+		if !e.matched && e.re.MatchString(message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantPatterns extracts the compiled patterns of one comment, or none
+// when the comment is not a want comment.
+func wantPatterns(text string) ([]*regexp.Regexp, error) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []*regexp.Regexp
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want comment at %q: %v", rest, err)
+		}
+		rest = rest[len(q):]
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting want pattern %s: %v", q, err)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("compiling want pattern %s: %v", q, err)
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+// Package idbytes bans the allocation-heavy chunk-ID idiom PR 4 spent
+// a review hunting down: converting a byte-array ID to string —
+// `string(id[:])` — for comparisons or map keys. Every such conversion
+// allocates and copies 32 bytes on a hot path; chunk.ID is a
+// comparable array, so use ==, bytes.Compare on the slices, or the
+// array itself as the map key.
+//
+// The check fires on any string(x) conversion where x slices a
+// byte-array value (chunk.ID, blobmeta keys, or any [N]byte), in test
+// files included — sorted-order assertions in tests were the last
+// holdouts. Hex rendering via id.String()/hex.EncodeToString is
+// untouched.
+package idbytes
+
+import (
+	"go/ast"
+	"go/types"
+
+	"blobseer/internal/analysis"
+)
+
+// Analyzer is the idbytes pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "idbytes",
+	Doc:  "no string(id[:]) conversions of byte-array IDs; compare arrays or use bytes.Compare",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			// A conversion to string: the callee is the type, not a
+			// function.
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Kind() != types.String {
+				return true
+			}
+			slice, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+			if !ok {
+				return true
+			}
+			opT := pass.TypesInfo.TypeOf(slice.X)
+			if opT == nil {
+				return true
+			}
+			if ptr, ok := opT.Underlying().(*types.Pointer); ok {
+				opT = ptr.Elem()
+			}
+			arr, ok := opT.Underlying().(*types.Array)
+			if !ok {
+				return true
+			}
+			if elem, ok := arr.Elem().Underlying().(*types.Basic); !ok || elem.Kind() != types.Byte && elem.Kind() != types.Uint8 {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"string(%s[:]) conversion of a byte-array ID allocates per call: compare arrays directly, use bytes.Compare, or key maps by the array", types.ExprString(slice.X))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+// Package load type-checks Go packages for the blobseer-vet analysis
+// suite without any dependency outside the standard library.
+//
+// Module packages are discovered with `go list -deps -test -export`:
+// the go tool compiles (or reuses from the build cache) export data
+// for every dependency, each target package's own sources are parsed
+// and type-checked against that export data, and in-package test files
+// are analyzed as part of their package's test-augmented variant —
+// exactly the compilation units `go test` builds. This is the same
+// architecture as a go/packages NeedExportFile load, rebuilt on
+// go/importer so the suite works in this dependency-free module.
+//
+// Fixture packages (see checktest) live outside the module in
+// GOPATH-style testdata/src trees and are type-checked recursively
+// from source, with standard-library imports resolved through the same
+// export-data path.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked compilation unit ready for analysis.
+type Package struct {
+	// PkgPath is the plain import path ("blobseer/internal/gc"); for a
+	// test-augmented variant it is the path of the package under test.
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// XTest marks an external test package (package foo_test).
+	XTest bool
+}
+
+// Result is a set of packages sharing one FileSet.
+type Result struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath   string
+	ForTest      string
+	Export       string
+	Standard     bool
+	Dir          string
+	GoFiles      []string
+	XTestGoFiles []string
+}
+
+func runGoList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(&out)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// exportLookup builds a go/importer lookup over an ImportPath→Export
+// map. forTest, when set, makes imports of packages that have a
+// test-augmented variant under that root resolve to the variant's
+// export data — the resolution rule of external test packages.
+func exportLookup(exports map[string]string, forTest string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if forTest != "" {
+			if f, ok := exports[path+" ["+forTest+".test]"]; ok && f != "" {
+				return os.Open(f)
+			}
+		}
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// Load type-checks the module packages matched by patterns (run in
+// dir), including test files: a package with in-package tests is
+// loaded once as its test-augmented variant, and external _test
+// packages are loaded as their own units.
+func Load(dir string, patterns ...string) (*Result, error) {
+	args := append([]string{"-deps", "-test", "-export",
+		"-json=ImportPath,ForTest,Export,Standard,Dir,GoFiles,XTestGoFiles"}, patterns...)
+	entries, err := runGoList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(entries))
+	hasVariant := make(map[string]bool)
+	for _, e := range entries {
+		exports[e.ImportPath] = e.Export
+		if e.ForTest != "" && e.ImportPath == e.ForTest+" ["+e.ForTest+".test]" {
+			hasVariant[e.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	res := &Result{Fset: fset}
+	for _, e := range entries {
+		if e.Standard || strings.HasSuffix(e.ImportPath, ".test") {
+			continue
+		}
+		plain, bracket, isBracketed := strings.Cut(e.ImportPath, " [")
+		if !isBracketed && hasVariant[e.ImportPath] {
+			continue // analyzed as its test-augmented variant instead
+		}
+		_ = bracket
+		xtest := strings.HasSuffix(plain, "_test")
+		if xtest {
+			plain = strings.TrimSuffix(plain, "_test")
+		}
+		files := e.GoFiles
+		if len(files) == 0 {
+			files = e.XTestGoFiles
+		}
+		if len(files) == 0 {
+			continue
+		}
+		var syntax []*ast.File
+		for _, name := range files {
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(e.Dir, name)
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("load: %w", err)
+			}
+			syntax = append(syntax, f)
+		}
+		info := newInfo()
+		conf := types.Config{
+			Importer: importer.ForCompiler(fset, "gc", exportLookup(exports, e.ForTest)),
+		}
+		pkg, err := conf.Check(plain, fset, syntax, info)
+		if err != nil {
+			return nil, fmt.Errorf("load: typecheck %s: %w", e.ImportPath, err)
+		}
+		res.Pkgs = append(res.Pkgs, &Package{
+			PkgPath: plain, Dir: e.Dir, Files: syntax,
+			Types: pkg, Info: info, XTest: xtest,
+		})
+	}
+	sort.Slice(res.Pkgs, func(i, j int) bool { return res.Pkgs[i].PkgPath < res.Pkgs[j].PkgPath })
+	return res, nil
+}
+
+// stdExports caches standard-library export data paths for fixture
+// loading, shared process-wide (go list output is stable within a
+// build).
+var stdExports = struct {
+	sync.Mutex
+	m map[string]string
+}{m: map[string]string{}}
+
+func stdExport(path string) (string, error) {
+	stdExports.Lock()
+	defer stdExports.Unlock()
+	if f, ok := stdExports.m[path]; ok {
+		if f == "" {
+			return "", fmt.Errorf("load: no export data for stdlib %q", path)
+		}
+		return f, nil
+	}
+	// One go list per cache miss pulls the package and its whole
+	// dependency closure into the cache.
+	entries, err := runGoList("", "-export", "-deps", "-json=ImportPath,Export", path)
+	if err != nil {
+		return "", err
+	}
+	for _, e := range entries {
+		stdExports.m[e.ImportPath] = e.Export
+	}
+	f := stdExports.m[path]
+	if f == "" {
+		return "", fmt.Errorf("load: no export data for stdlib %q", path)
+	}
+	return f, nil
+}
+
+// fixtureImporter resolves imports for GOPATH-style fixture trees:
+// paths that exist under srcRoot load recursively from source, all
+// others resolve as standard library export data.
+type fixtureImporter struct {
+	srcRoot string
+	fset    *token.FileSet
+	loaded  map[string]*Package // fixture packages by import path
+	std     types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.loaded[path]; ok {
+		return p.Types, nil
+	}
+	dir := filepath.Join(fi.srcRoot, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		p, err := fi.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return fi.std.Import(path)
+}
+
+func (fi *fixtureImporter) load(path, dir string) (*Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var syntax []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fi.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: fixture: %w", err)
+		}
+		syntax = append(syntax, f)
+	}
+	if len(syntax) == 0 {
+		return nil, fmt.Errorf("load: fixture %s: no Go files in %s", path, dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: fi}
+	pkg, err := conf.Check(path, fi.fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: fixture typecheck %s: %w", path, err)
+	}
+	p := &Package{PkgPath: path, Dir: dir, Files: syntax, Types: pkg, Info: info}
+	fi.loaded[path] = p
+	return p, nil
+}
+
+// LoadFixture type-checks the fixture package at srcRoot/path (and,
+// recursively, any fixture packages it imports from the same tree).
+// Pkgs[0] is the requested package; the rest are its fixture
+// dependencies, so repository-wide fact computation sees them.
+func LoadFixture(srcRoot, path string) (*Result, error) {
+	fset := token.NewFileSet()
+	fi := &fixtureImporter{
+		srcRoot: srcRoot,
+		fset:    fset,
+		loaded:  map[string]*Package{},
+		std: importer.ForCompiler(fset, "gc", func(p string) (io.ReadCloser, error) {
+			f, err := stdExport(p)
+			if err != nil {
+				return nil, err
+			}
+			return os.Open(f)
+		}),
+	}
+	target, err := fi.load(path, filepath.Join(srcRoot, path))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Fset: fset, Pkgs: []*Package{target}}
+	for p, pkg := range fi.loaded {
+		if p != path {
+			res.Pkgs = append(res.Pkgs, pkg)
+		}
+	}
+	sort.Slice(res.Pkgs[1:], func(i, j int) bool { return res.Pkgs[i+1].PkgPath < res.Pkgs[j+1].PkgPath })
+	return res, nil
+}

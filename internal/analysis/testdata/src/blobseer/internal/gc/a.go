@@ -1,0 +1,89 @@
+// The gcfailsafe fixture. Its import path deliberately mirrors the
+// real storage-lifecycle package, because the analyzer scopes itself to
+// blobseer/internal/gc: everywhere else, skipping an error is a style
+// question — here it can hand a live blob's chunks to the purge.
+package gc
+
+import "errors"
+
+var errGone = errors.New("gone")
+
+func candidates(blob uint64) ([]uint64, error) {
+	if blob == 0 {
+		return nil, errGone
+	}
+	return []uint64{blob}, nil
+}
+
+func retire(vs []uint64) error { return nil }
+
+// SkipLoop is the exact shape PR 5's review chased: an error folded
+// into an emptiness test and skipped.
+func SkipLoop(blobs []uint64) int {
+	retired := 0
+	for _, b := range blobs {
+		cands, err := candidates(b)
+		if err != nil || len(cands) == 0 {
+			continue // want `skips an error via continue without recording it`
+		}
+		retired += len(cands)
+	}
+	return retired
+}
+
+// RecordLoop records the first error before skipping — the fail-safe
+// idiom the real retention pass uses.
+func RecordLoop(blobs []uint64) (int, error) {
+	retired := 0
+	var firstErr error
+	for _, b := range blobs {
+		cands, err := candidates(b)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		retired += len(cands)
+	}
+	return retired, firstErr
+}
+
+// FilterLoop uses the error to classify it — also fine: errors.Is
+// counts as recording a decision about it.
+func FilterLoop(blobs []uint64) int {
+	retired := 0
+	for _, b := range blobs {
+		cands, err := candidates(b)
+		if err != nil {
+			if errors.Is(err, errGone) {
+				continue
+			}
+			continue
+		}
+		retired += len(cands)
+	}
+	return retired
+}
+
+// Blank discards an error result outright.
+func Blank(vs []uint64) {
+	_ = retire(vs) // want `error discarded with blank identifier`
+}
+
+// BlankTuple discards the error component of a multi-result call.
+func BlankTuple(blob uint64) []uint64 {
+	cands, _ := candidates(blob) // want `error discarded with blank identifier`
+	return cands
+}
+
+// Allowed is the audited best-effort shape.
+func Allowed(vs []uint64) {
+	_ = retire(vs) //gcfailsafe:allow fixture: loss is corrected by the next sweep
+}
+
+// NotAnError shows the blank identifier is fine for non-error results.
+func NotAnError(blob uint64) error {
+	_, err := candidates(blob)
+	return err
+}

@@ -1,0 +1,50 @@
+// The ctxfirst fixture: context parameters must come first, and no
+// fresh context roots may be minted on the data path.
+package ctxfirst
+
+import "context"
+
+// Bad buries the context behind the payload.
+func Bad(name string, ctx context.Context) error { // want `context\.Context must be the first parameter \(found at position 2\)`
+	return ctx.Err()
+}
+
+// Good threads it first.
+func Good(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+// NoCtx takes none at all — fine.
+func NoCtx(name string) string { return name }
+
+// Mint creates a root on the data path.
+func Mint() error {
+	ctx := context.Background() // want `context\.Background on the data path`
+	return ctx.Err()
+}
+
+// MintTODO is the other spelling.
+func MintTODO() error {
+	ctx := context.TODO() // want `context\.TODO on the data path`
+	return ctx.Err()
+}
+
+// Wrapped is the audited compatibility-wrapper shape.
+func Wrapped() error {
+	return Good(context.Background(), "w") //ctxfirst:allow fixture: compat wrapper over the ctx-first form
+}
+
+// Bare shows that an allow comment without a reason suppresses nothing
+// and is flagged itself.
+func Bare() error {
+	//ctxfirst:allow
+	ctx := context.Background() // want `ctxfirst:allow comment needs a reason` `context\.Background on the data path`
+	return ctx.Err()
+}
+
+// Closure checks function literals too.
+func Closure() func(int, context.Context) {
+	return func(n int, ctx context.Context) { // want `context\.Context must be the first parameter \(found at position 2\)`
+		_ = ctx.Err()
+	}
+}

@@ -1,0 +1,12 @@
+// The ctxfirst negative fixture: package main is where roots are
+// legitimately minted, so nothing here may be reported.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,45 @@
+// The idbytes fixture: no string(id[:]) conversions of byte-array IDs.
+// Arrays compare with == and sort with bytes.Compare; the conversion
+// allocates 32 bytes per call on hot paths.
+package idbytes
+
+import (
+	"bytes"
+	"encoding/hex"
+)
+
+type ID [32]byte
+
+// Less is the banned sorted-order idiom, twice on one line.
+func Less(a, b ID) bool {
+	return string(a[:]) < string(b[:]) // want `string\(a\[:\]\) conversion of a byte-array ID` `string\(b\[:\]\) conversion of a byte-array ID`
+}
+
+// Key builds the banned map key.
+func Key(m map[string]int, id ID) int {
+	return m[string(id[:])] // want `string\(id\[:\]\) conversion of a byte-array ID`
+}
+
+// ViaPointer still slices an underlying byte array.
+func ViaPointer(id *ID) string {
+	return string(id[:]) // want `string\(id\[:\]\) conversion of a byte-array ID`
+}
+
+// CompareGood is the replacement idiom.
+func CompareGood(a, b ID) bool {
+	return bytes.Compare(a[:], b[:]) < 0
+}
+
+// EqualGood: arrays are comparable; no conversion needed.
+func EqualGood(a, b ID) bool { return a == b }
+
+// HexGood renders for humans — not a comparison, not banned.
+func HexGood(id ID) string {
+	return hex.EncodeToString(id[:])
+}
+
+// SliceGood converts a plain byte slice, which has no cheaper
+// comparable form — out of scope.
+func SliceGood(b []byte) string {
+	return string(b[:])
+}

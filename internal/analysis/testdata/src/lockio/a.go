@@ -1,0 +1,82 @@
+// The lockio fixture. Lookup reproduces the historical rpc.Directory
+// bug this analyzer exists to keep out: dialing under the directory
+// mutex, which stalls every lookup of a healthy provider for the OS
+// connect timeout whenever one provider is blackholed.
+package lockio
+
+import (
+	"net"
+	"sync"
+)
+
+type Directory struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	addrs map[string]string
+	conns map[string]net.Conn
+}
+
+// Lookup is the regression shape: a direct net call inside the
+// critical section.
+func (d *Directory) Lookup(addr string) (net.Conn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.conns[addr]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", addr) // want `blocking I/O while holding d\.mu .*: calls net\.Dial`
+	if err != nil {
+		return nil, err
+	}
+	d.conns[addr] = c
+	return c, nil
+}
+
+// dial exists to give the fixture a transitively-blocking module
+// function: it never locks anything itself.
+func (d *Directory) dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+// Refresh blocks through a helper, not a direct net call — the
+// transitive fact must carry the reason chain.
+func (d *Directory) Refresh(addr string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, err := d.dial(addr) // want `blocking I/O while holding d\.mu .*: calls \(\*lockio\.Directory\)\.dial, which may block`
+	if err != nil {
+		return err
+	}
+	d.conns[addr] = c
+	return nil
+}
+
+// Snapshot holds only the read side — still a critical section.
+func (d *Directory) Snapshot(addr string) error {
+	d.rw.RLock()
+	defer d.rw.RUnlock()
+	_, err := net.Dial("tcp", addr) // want `blocking I/O while holding d\.rw .*: calls net\.Dial`
+	return err
+}
+
+// Good resolves under the lock and dials outside it: the pattern the
+// real directory uses since the fix.
+func (d *Directory) Good(addr string) (net.Conn, error) {
+	d.mu.Lock()
+	a, ok := d.addrs[addr]
+	d.mu.Unlock()
+	if !ok {
+		a = addr
+	}
+	return net.Dial("tcp", a)
+}
+
+// CloseAll is the audited-exception shape: I/O under the lock with an
+// allow comment carrying a reason.
+func (d *Directory) CloseAll() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.conns {
+		_ = c.Close() //lockio:allow fixture: teardown is declared quiescent, nothing contends the lock
+	}
+}

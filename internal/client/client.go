@@ -222,7 +222,7 @@ func (c *Client) User() string { return c.user }
 
 // Create makes a new BLOB with the given chunk size (0 = default).
 func (c *Client) Create(chunkSize int64) (vmanager.BlobInfo, error) {
-	return c.CreateContext(context.Background(), chunkSize)
+	return c.CreateContext(context.Background(), chunkSize) //ctxfirst:allow compat wrapper; ctx-aware callers use the *Context form
 }
 
 // CreateContext is Create with an admission context.
@@ -238,7 +238,7 @@ func (c *Client) CreateContext(ctx context.Context, chunkSize int64) (vmanager.B
 // CreateTemporary makes a BLOB flagged for the temporary-data removal
 // strategy.
 func (c *Client) CreateTemporary(chunkSize int64) (vmanager.BlobInfo, error) {
-	return c.CreateTemporaryContext(context.Background(), chunkSize)
+	return c.CreateTemporaryContext(context.Background(), chunkSize) //ctxfirst:allow compat wrapper; ctx-aware callers use the *Context form
 }
 
 // CreateTemporaryContext is CreateTemporary with an admission context.
@@ -268,7 +268,7 @@ func (c *Client) Open(ctx context.Context, blob uint64) (*Blob, error) {
 // Write stores data at the given offset and returns the published
 // version. It is a compatibility wrapper over the streaming BlobWriter.
 func (c *Client) Write(blob uint64, offset int64, data []byte) (uint64, error) {
-	return c.WriteContext(context.Background(), blob, offset, data)
+	return c.WriteContext(context.Background(), blob, offset, data) //ctxfirst:allow compat wrapper; ctx-aware callers use the *Context form
 }
 
 // WriteContext is Write with cancellation: a cancelled ctx aborts
@@ -304,7 +304,7 @@ func (c *Client) WriteContext(ctx context.Context, blob uint64, offset int64, da
 // version. It is a compatibility wrapper over the streaming BlobWriter
 // bound to an append ticket.
 func (c *Client) Append(blob uint64, data []byte) (uint64, error) {
-	return c.AppendContext(context.Background(), blob, data)
+	return c.AppendContext(context.Background(), blob, data) //ctxfirst:allow compat wrapper; ctx-aware callers use the *Context form
 }
 
 // AppendContext is Append with cancellation.
@@ -334,7 +334,7 @@ func (c *Client) AppendContext(ctx context.Context, blob uint64, data []byte) (u
 // ErrShortRead. It is a compatibility wrapper over the streaming
 // BlobReader.
 func (c *Client) Read(blob uint64, version uint64, offset, length int64) ([]byte, error) {
-	return c.ReadContext(context.Background(), blob, version, offset, length)
+	return c.ReadContext(context.Background(), blob, version, offset, length) //ctxfirst:allow compat wrapper; ctx-aware callers use the *Context form
 }
 
 // ReadContext is Read with cancellation: a cancelled ctx aborts in-flight

@@ -308,6 +308,7 @@ func (c *Client) step() {
 		return
 	}
 	if d.Cfg.Security {
+		//ctxfirst:allow simulated clients have no caller ctx; the sim clock, not cancellation, bounds a run
 		if err := d.Enf.Allow(context.Background(), c.user, instrument.OpWrite); err != nil {
 			// Blocked or throttled: correct clients back off briefly;
 			// attackers keep hammering until their block outlives the run.

@@ -161,6 +161,11 @@ type SweepReport struct {
 	NodesSwept   int // nodes reclaimed (counted, not removed, under DryRun)
 
 	DryRun bool
+
+	// Err is the first error the pass hit ("" = clean), recorded by the
+	// background runner so a degraded provider or metadata plane is
+	// visible in LastReports instead of silently dropped.
+	Err string
 }
 
 // MarkReport summarizes one standalone mark pass (see Manager.Mark).
@@ -177,6 +182,11 @@ type RetentionReport struct {
 	BlobsScanned  int
 	Retired       int // versions retired
 	PinnedSkipped int // candidate versions skipped because a reader pins them
+
+	// Err is the first error the pass hit ("" = clean), recorded by the
+	// background runner so a degraded metadata plane is visible in
+	// LastReports instead of silently dropped.
+	Err string
 }
 
 // Stats is a snapshot of the lifecycle manager's gauges and counters.
@@ -402,7 +412,8 @@ func (m *Manager) unpin(k pinKey) bool {
 		// Still under the fence's read side (taken at the top): the
 		// decrements filter against a concurrent pass's purged set
 		// without the reader's Close ever waiting on List/Purge I/O.
-		m.reclaimVersions(context.Background(), def.versions)
+		//lockio:allow decrements must stay under the fence read side so a concurrent pass's purged set filters them (see comment above)
+		m.reclaimVersions(context.Background(), def.versions) //ctxfirst:allow pin drain runs on the reader's Close path, which has no ctx; reclaim must not be abortable
 		m.emit.Emit(instrument.Event{
 			Time: m.now(), Actor: instrument.ActorGC, Op: instrument.OpEvict, Blob: k.blob,
 		})
@@ -469,7 +480,7 @@ func (m *Manager) DeleteBlob(ctx context.Context, blob uint64) error {
 		})
 		return nil
 	}
-	m.reclaimVersions(ctx, vs)
+	m.reclaimVersions(ctx, vs) //lockio:allow the fence read side must cover the decrements; mark's barrier waits for handoffs, not vice versa (see comment above)
 	m.fence.RUnlock()
 	m.emit.Emit(instrument.Event{
 		Time: m.now(), Actor: instrument.ActorGC, Op: instrument.OpDelete, Blob: blob,
@@ -554,7 +565,9 @@ func (m *Manager) removeFanout(ctx context.Context, perProv map[string][]chunk.I
 		go func(p string, ids []chunk.ID) {
 			defer wg.Done()
 			for _, id := range ids {
-				_ = m.prov.Remove(ctx, p, id)
+				// Decrements are best-effort by design: a missed one leaves
+				// a refcount high (safe), and the next sweep collects it.
+				_ = m.prov.Remove(ctx, p, id) //gcfailsafe:allow failure leaves the refcount high, which is the safe direction; the sweep collects it
 			}
 		}(p, ids)
 	}
@@ -578,7 +591,7 @@ func (m *Manager) ReclaimDescs(ctx context.Context, descs []chunk.Desc) {
 	// would debit a fresh same-content Put. The read side keeps this off
 	// the sweep's critical path entirely.
 	m.fence.RLock()
-	n := m.removeFanout(ctx, perProv)
+	n := m.removeFanout(ctx, perProv) //lockio:allow fence read side over the fan-out is the ordering rule against wholesale purges (see comment above)
 	m.fence.RUnlock()
 	m.reclaimedRefs.Add(n)
 }
@@ -598,7 +611,17 @@ func (m *Manager) EnforceRetention(ctx context.Context, now time.Time) (Retentio
 		}
 		rep.BlobsScanned++
 		cands, err := m.vm.RetentionCandidates(blob, now)
-		if err != nil || len(cands) == 0 {
+		if err != nil {
+			// Fail-safe rule: a blob whose policy cannot be read is
+			// skipped, but the failure surfaces in the pass result —
+			// except deletion racing the scan, which the next pass
+			// resolves on its own.
+			if firstErr == nil && !errors.Is(err, vmanager.ErrDeleted) {
+				firstErr = err
+			}
+			continue
+		}
+		if len(cands) == 0 {
 			continue
 		}
 		m.mu.Lock()
@@ -666,7 +689,7 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 
-	ms, err := m.mark(ctx)
+	ms, err := m.mark(ctx) //lockio:allow sweepMu exists to serialize whole passes, I/O included; foreground work never takes it
 	if err != nil {
 		return rep, err
 	}
@@ -708,7 +731,7 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 			mu.Unlock()
 		}(id)
 	}
-	wg.Wait()
+	wg.Wait() //lockio:allow sweepMu serializes whole passes, fan-out waits included; foreground work never takes it
 
 	if !dryRun {
 		// Open the pass's purged-ID set: from here until the deferred
@@ -772,7 +795,7 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 			}
 		}(id, epoch)
 	}
-	wg.Wait()
+	wg.Wait() //lockio:allow sweepMu serializes whole passes, fan-out waits included; foreground work never takes it
 
 	if !dryRun {
 		m.sweptChunks.Add(int64(rep.Swept))
@@ -1230,7 +1253,9 @@ func (m *Manager) sweepNodes(ctx context.Context, ms *markSet, dryRun bool) node
 	if !dryRun && complete {
 		for _, b := range ms.dead {
 			if clean[b] {
-				_ = m.vm.Forget(b)
+				// Forget is idempotent metadata cleanup; a failure means
+				// the tombstone survives to the next pass, which retries.
+				_ = m.vm.Forget(b) //gcfailsafe:allow failure keeps the tombstone, and the next pass retries the forget
 			}
 		}
 	}

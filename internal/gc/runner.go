@@ -46,9 +46,18 @@ func (r *Runner) Run(ctx context.Context) error {
 }
 
 // Pass runs one retention + sweep pass now and records the reports.
+// Pass errors land in the reports' Err fields (the doc contract of Run):
+// a failed provider must not stop the loop, but it must not vanish
+// either.
 func (r *Runner) Pass(ctx context.Context) (RetentionReport, SweepReport) {
-	ret, _ := r.m.EnforceRetention(ctx, r.m.now())
-	swp, _ := r.m.Sweep(ctx, false)
+	ret, retErr := r.m.EnforceRetention(ctx, r.m.now())
+	if retErr != nil {
+		ret.Err = retErr.Error()
+	}
+	swp, swpErr := r.m.Sweep(ctx, false)
+	if swpErr != nil {
+		swp.Err = swpErr.Error()
+	}
 	r.mu.Lock()
 	r.lastRetention, r.lastSweep = ret, swp
 	r.passes++

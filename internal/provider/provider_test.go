@@ -177,7 +177,7 @@ func TestProviderKeysSorted(t *testing.T) {
 		t.Fatalf("keys=%d", len(ks))
 	}
 	for i := 1; i < len(ks); i++ {
-		if string(ks[i-1][:]) >= string(ks[i][:]) {
+		if bytes.Compare(ks[i-1][:], ks[i][:]) >= 0 {
 			t.Fatal("keys not sorted")
 		}
 	}
@@ -356,7 +356,7 @@ func TestMemStoreLifecycle(t *testing.T) {
 		page, more := s.List(after, 2)
 		pages++
 		for i := 1; i < len(page); i++ {
-			if string(page[i-1].ID[:]) >= string(page[i].ID[:]) {
+			if bytes.Compare(page[i-1].ID[:], page[i].ID[:]) >= 0 {
 				t.Fatal("page not in ascending ID order")
 			}
 		}

@@ -84,12 +84,12 @@ type ProviderService struct {
 // so server-side work runs under the background context; cancellation is
 // a client-side concern (the caller stops waiting).
 func (s *ProviderService) Store(args *StoreArgs, _ *struct{}) error {
-	return s.P.Store(context.Background(), args.User, args.ID, args.Data)
+	return s.P.Store(context.Background(), args.User, args.ID, args.Data) //ctxfirst:allow net/rpc carries no wire deadline; cancellation is client-side
 }
 
 // Fetch handles chunk reads.
 func (s *ProviderService) Fetch(args *FetchArgs, reply *FetchReply) error {
-	data, err := s.P.Fetch(context.Background(), args.User, args.ID)
+	data, err := s.P.Fetch(context.Background(), args.User, args.ID) //ctxfirst:allow net/rpc carries no wire deadline; cancellation is client-side
 	if err != nil {
 		return err
 	}
@@ -99,7 +99,7 @@ func (s *ProviderService) Fetch(args *FetchArgs, reply *FetchReply) error {
 
 // Remove handles chunk deletion.
 func (s *ProviderService) Remove(args *RemoveArgs, _ *struct{}) error {
-	return s.P.Remove(context.Background(), args.ID)
+	return s.P.Remove(context.Background(), args.ID) //ctxfirst:allow net/rpc carries no wire deadline; cancellation is client-side
 }
 
 // Stats reports provider counters.
@@ -111,7 +111,7 @@ func (s *ProviderService) Stats(_ *struct{}, reply *StatsReply) error {
 // ListChunks serves one page of the provider's chunk inventory to the
 // garbage collector's sweep.
 func (s *ProviderService) ListChunks(args *ListChunksArgs, reply *ListChunksReply) error {
-	page, more, err := s.P.ListChunks(context.Background(), args.After, args.Limit)
+	page, more, err := s.P.ListChunks(context.Background(), args.After, args.Limit) //ctxfirst:allow net/rpc carries no wire deadline; cancellation is client-side
 	if err != nil {
 		return err
 	}
@@ -121,7 +121,7 @@ func (s *ProviderService) ListChunks(args *ListChunksArgs, reply *ListChunksRepl
 
 // Purge removes unreferenced chunks wholesale on behalf of the sweep.
 func (s *ProviderService) Purge(args *PurgeArgs, reply *PurgeReply) error {
-	purged, freed, err := s.P.PurgeChunks(context.Background(), args.IDs)
+	purged, freed, err := s.P.PurgeChunks(context.Background(), args.IDs) //ctxfirst:allow net/rpc carries no wire deadline; cancellation is client-side
 	reply.Purged, reply.Freed = purged, freed
 	return err
 }
@@ -182,11 +182,15 @@ func (s *Server) Addr() string { return s.lis.Addr().String() }
 // Close stops the listener.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
+	// Close outside the lock: a TCP close can block in the kernel, and
+	// Serve's accept loop takes s.mu on every error to check closed —
+	// holding it here would couple their latencies for no benefit.
 	return s.lis.Close()
 }
 
@@ -199,7 +203,7 @@ type Conn struct {
 
 // Dial connects to a provider server.
 func Dial(addr string) (*Conn, error) {
-	return DialContext(context.Background(), addr)
+	return DialContext(context.Background(), addr) //ctxfirst:allow compat wrapper; ctx-aware callers use DialContext
 }
 
 // DialContext connects to a provider server, honouring ctx cancellation
@@ -315,11 +319,15 @@ func NewDirectory(addrs map[string]string) *Directory {
 // Register adds or updates a provider address (dropping any cached conn).
 func (d *Directory) Register(id, addr string) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.addrs[id] = addr
-	if c, ok := d.conns[id]; ok {
-		c.Close()
-		delete(d.conns, id)
+	c := d.conns[id]
+	delete(d.conns, id)
+	d.mu.Unlock()
+	// Close the evicted conn outside the lock: closing tears down a TCP
+	// session and must not stall concurrent Lookups of healthy providers
+	// — the same rule that keeps DialContext out of the critical section.
+	if c != nil {
+		_ = c.Close()
 	}
 }
 
@@ -366,14 +374,17 @@ func (d *Directory) Lookup(ctx context.Context, id string) (client.Conn, error) 
 
 // Close closes all cached connections.
 func (d *Directory) Close() error {
+	// Detach the cache under the lock, close outside it: the teardowns
+	// do network I/O and must not block a concurrent Register/Lookup.
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	conns := d.conns
+	d.conns = make(map[string]*Conn)
+	d.mu.Unlock()
 	var firstErr error
-	for id, c := range d.conns {
+	for _, c := range conns {
 		if err := c.Close(); err != nil && firstErr == nil && !errors.Is(err, rpc.ErrShutdown) {
 			firstErr = err
 		}
-		delete(d.conns, id)
 	}
 	return firstErr
 }

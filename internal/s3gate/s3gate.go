@@ -389,7 +389,10 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket
 	abandon := func() {
 		cancel()
 		_ = bw.Close()
-		g.cluster.GC.ReclaimDescs(context.Background(), bw.StoredChunks())
+		// The abandoned upload's ctx is already cancelled; cleanup must
+		// still run to completion or the flushed chunks leak until the
+		// next sweep.
+		g.cluster.GC.ReclaimDescs(context.Background(), bw.StoredChunks()) //ctxfirst:allow cleanup after cancellation must not itself be cancellable
 		g.reclaim(info.ID)
 	}
 	// Reading one byte past the limit distinguishes an oversized body
@@ -613,7 +616,10 @@ func (g *Gateway) deleteObject(w http.ResponseWriter, user, bucket, key string) 
 // an in-flight streaming GET defers reclamation until the reader closes
 // instead of truncating the response mid-stream.
 func (g *Gateway) reclaim(blob uint64) {
-	_ = g.cluster.GC.DeleteBlob(context.Background(), blob)
+	// Deliberately decoupled from the request ctx: the DELETE response
+	// has already been committed, and an aborted reclaim would strand
+	// the blob's chunks until the next sweep.
+	_ = g.cluster.GC.DeleteBlob(context.Background(), blob) //ctxfirst:allow reclaim runs after the response; aborting it strands chunks
 }
 
 // Buckets returns the bucket names (diagnostics).

@@ -128,7 +128,7 @@ func (r *Replicator) TargetDegree(blob uint64) int {
 // published as a new metadata version per BLOB (chunks are immutable, so
 // repair means new descriptors, not data rewrites).
 func (r *Replicator) Scan(now time.Time) (RepairReport, error) {
-	return r.ScanContext(context.Background(), now)
+	return r.ScanContext(context.Background(), now) //ctxfirst:allow compat wrapper; ctx-aware callers use ScanContext
 }
 
 // ScanContext is Scan with cancellation: a cancelled ctx aborts the pass
@@ -376,7 +376,7 @@ func (r *Reaper) RouteDeletes(d BlobDeleter) { r.deleter = d }
 
 // Run performs one reaping pass, returning the BLOBs removed.
 func (r *Reaper) Run(now time.Time) ([]uint64, error) {
-	return r.RunContext(context.Background(), now)
+	return r.RunContext(context.Background(), now) //ctxfirst:allow compat wrapper; ctx-aware callers use RunContext
 }
 
 // RunContext is Run with cancellation: a cancelled ctx aborts the pass
