@@ -23,6 +23,11 @@
 // previous report it is read first and a chunks/s delta against it is
 // printed (the CI smoke step compares against the committed baseline
 // this way).
+//
+// A fifth, disk plane (diskbench.go; -disk-chunks/-disk-sweep-chunks,
+// emitting BENCH_disk.json) measures the log-structured store: put
+// throughput, get throughput hot vs cold, the orphan sweep rate with
+// disk-backed providers, and cold-start recovery time per GB.
 package main
 
 import (
@@ -52,12 +57,21 @@ func main() {
 		large     = flag.Int("large-chunks", 1_000_000, "bench: chunk population for the large sweep + delete-latency plane (0 = skip)")
 		markCh    = flag.Int("mark-chunks", 131072, "bench: live chunks in the mark-phase plane (0 = skip)")
 		markVers  = flag.Int("mark-versions", 24, "bench: overwrite versions per BLOB in the mark-phase plane")
+		diskOut   = flag.String("disk-out", "BENCH_disk.json", "bench: output path for the disk-plane JSON report")
+		diskCh    = flag.Int("disk-chunks", 20000, "bench: chunk population for the disk put/get/recovery planes (0 = skip all disk planes)")
+		diskSweep = flag.Int("disk-sweep-chunks", 1_000_000, "bench: orphan population for the disk sweep plane (0 = skip)")
 	)
 	flag.Parse()
 	if *bench {
 		if err := runBench(*providers, *chunks, *large, *markCh, *markVers, *out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *diskCh > 0 {
+			if err := runDiskBench(*providers, *diskCh, *diskSweep, *diskOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

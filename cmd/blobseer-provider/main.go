@@ -5,6 +5,8 @@
 // Usage:
 //
 //	blobseer-provider -id p01 -listen 127.0.0.1:9001 -zone rennes -capacity 1073741824
+//	blobseer-provider -id p01 -store disk -data-dir /var/lib/blobseer/p01
+//	blobseer-provider -id p01 -store tiered -data-dir /var/lib/blobseer/p01 -hot-bytes 268435456
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"os"
 	"os/signal"
 
+	"blobseer/internal/diskstore"
 	"blobseer/internal/provider"
 	"blobseer/internal/rpc"
 )
@@ -23,10 +26,37 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		zone     = flag.String("zone", "default", "availability zone / site")
 		capacity = flag.Int64("capacity", 0, "capacity in bytes (0 = unbounded)")
+		store    = flag.String("store", "mem", "chunk store backend: mem, disk or tiered")
+		dataDir  = flag.String("data-dir", "", "segment directory for -store=disk/tiered")
+		hotBytes = flag.Int64("hot-bytes", 256<<20, "hot-tier cache bound for -store=tiered")
 	)
 	flag.Parse()
 
-	p := provider.New(*id, *zone, *capacity)
+	var popts []provider.Option
+	switch *store {
+	case "mem":
+		// The default in-memory store; -data-dir is ignored.
+	case "disk", "tiered":
+		if *dataDir == "" {
+			log.Fatalf("-store=%s requires -data-dir", *store)
+		}
+		ds, err := diskstore.Open(*dataDir, diskstore.Options{Capacity: *capacity})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ds.Close()
+		log.Printf("provider %s: recovered %d chunks (%d bytes) from %s",
+			*id, ds.Count(), ds.Used(), *dataDir)
+		if *store == "tiered" {
+			popts = append(popts, provider.WithStore(diskstore.NewTiered(ds, *hotBytes)))
+		} else {
+			popts = append(popts, provider.WithStore(ds))
+		}
+	default:
+		log.Fatalf("unknown -store=%q (want mem, disk or tiered)", *store)
+	}
+
+	p := provider.New(*id, *zone, *capacity, popts...)
 	srv, err := rpc.Serve(p, *listen)
 	if err != nil {
 		log.Fatal(err)

@@ -8,6 +8,9 @@
 //   - any function or method of net, net/rpc or net/http (minus a
 //     short list of pure helpers like net.JoinHostPort);
 //   - time.Sleep or (*sync.WaitGroup).Wait;
+//   - os.File reads, writes, syncs and opens — disk I/O stalls just
+//     like the network under load (a full page cache, a congested
+//     device, NFS), so file I/O under a mutex is the same hazard;
 //   - a call through an interface method or function value whose first
 //     parameter is a context.Context — this repository's own ctxfirst
 //     convention makes "takes ctx first" the signature of the I/O
@@ -55,6 +58,36 @@ var pureHelpers = map[string]bool{
 	"net.IPv4":                    true,
 	"net/http.StatusText":         true,
 	"net/http.CanonicalHeaderKey": true,
+}
+
+// fileIO are the os-package calls that may block on disk I/O. The
+// device end of a file operation can stall indefinitely (page-cache
+// writeback, a congested or failing disk, a network filesystem), so
+// lockio treats them exactly like network calls inside critical
+// sections. Close is included: it flushes buffered writes on many
+// filesystems.
+var fileIO = map[string]bool{
+	"(*os.File).Read":        true,
+	"(*os.File).ReadAt":      true,
+	"(*os.File).ReadFrom":    true,
+	"(*os.File).Write":       true,
+	"(*os.File).WriteAt":     true,
+	"(*os.File).WriteString": true,
+	"(*os.File).WriteTo":     true,
+	"(*os.File).Sync":        true,
+	"(*os.File).Seek":        true,
+	"(*os.File).Truncate":    true,
+	"(*os.File).Close":       true,
+	"os.Open":                true,
+	"os.Create":              true,
+	"os.OpenFile":            true,
+	"os.ReadFile":            true,
+	"os.WriteFile":           true,
+	"os.ReadDir":             true,
+	"os.Remove":              true,
+	"os.RemoveAll":           true,
+	"os.Rename":              true,
+	"os.Truncate":            true,
 }
 
 func isContext(t types.Type) bool {
@@ -109,6 +142,9 @@ func DirectReason(info *types.Info, call *ast.CallExpr) string {
 	switch full {
 	case "time.Sleep", "(*sync.WaitGroup).Wait":
 		return fmt.Sprintf("calls %s", full)
+	}
+	if fileIO[full] {
+		return fmt.Sprintf("calls %s (file I/O may stall on the device)", full)
 	}
 	sig, _ := fn.Type().(*types.Signature)
 	if sig != nil && sig.Recv() != nil {

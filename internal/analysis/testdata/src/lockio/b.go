@@ -1,0 +1,73 @@
+// The file-I/O half of the lockio fixture: os.File reads, writes and
+// syncs may stall on the device just like a dial stalls on the network,
+// so they are equally banned inside critical sections. The Good shape
+// mirrors the disk store's real pattern — pin under the lock, read
+// outside it.
+package lockio
+
+import (
+	"os"
+	"sync"
+)
+
+type WAL struct {
+	mu  sync.Mutex
+	f   *os.File
+	off int64
+}
+
+// Append is the regression shape: a direct file write inside the
+// critical section.
+func (w *WAL) Append(rec []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, err := w.f.Write(rec) // want `blocking I/O while holding w\.mu .*: calls \(\*os\.File\)\.Write \(file I/O`
+	w.off += int64(n)
+	return err
+}
+
+// flush gives the fixture a transitively file-blocking helper.
+func (w *WAL) flush() error {
+	return w.f.Sync()
+}
+
+// Rotate blocks through the helper — the transitive fact must carry
+// the file-I/O reason chain.
+func (w *WAL) Rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flush() // want `blocking I/O while holding w\.mu .*: calls \(\*lockio\.WAL\)\.flush, which may block`
+}
+
+// ReadAtLocked: reads stall too, and package-level os helpers count the
+// same as methods.
+func (w *WAL) ReadAtLocked(path string, buf []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.ReadAt(buf, 0); err != nil { // want `blocking I/O while holding w\.mu .*: calls \(\*os\.File\)\.ReadAt \(file I/O`
+		return err
+	}
+	_, err := os.ReadFile(path) // want `blocking I/O while holding w\.mu .*: calls os\.ReadFile \(file I/O`
+	return err
+}
+
+// Good is the disk store's pattern: snapshot the offset under the lock,
+// do the I/O outside it.
+func (w *WAL) Good(buf []byte) error {
+	w.mu.Lock()
+	off := w.off
+	f := w.f
+	w.mu.Unlock()
+	_, err := f.ReadAt(buf, off)
+	return err
+}
+
+// AppendAllowed is the audited-exception shape the real log store uses:
+// appends must serialize with index updates, so the write stays under
+// the lock with a reasoned allow.
+func (w *WAL) AppendAllowed(rec []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.f.Write(rec) //lockio:allow fixture: append-only log, appends must serialize with index updates in log order
+	return err
+}

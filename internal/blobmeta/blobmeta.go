@@ -64,16 +64,44 @@ type Store interface {
 }
 
 // NodeStore is the optional Store extension the metadata sweep
-// (internal/gc) consumes: key enumeration and node deletion. Nodes stay
-// immutable — Delete exists only so the sweep can drop nodes reachable
-// solely from retired or deleted versions.
+// (internal/gc) consumes: paged key enumeration and node deletion.
+// Nodes stay immutable — Delete exists only so the sweep can drop nodes
+// reachable solely from retired or deleted versions.
 type NodeStore interface {
 	Store
-	// Keys returns a snapshot of the stored node keys in no particular
-	// order. Keys inserted or removed concurrently may or may not appear.
+	// ListNodes returns up to limit node keys strictly greater than
+	// after in (Blob, Version, Lo, Hi) order, and whether more remain.
+	// The zero NodeKey starts from the beginning (version 0 is reserved,
+	// so no stored key compares at or below it). limit ≤ 0 selects an
+	// implementation default. Keys inserted or removed concurrently may
+	// or may not appear; a key present for the whole scan appears
+	// exactly once.
+	ListNodes(after NodeKey, limit int) ([]NodeKey, bool)
+	// Keys returns a snapshot of the stored node keys.
+	//
+	// Deprecated: Keys materializes the whole key set at once; page with
+	// ListNodes instead.
 	Keys() []NodeKey
 	// Delete removes a node; deleting an absent key is a no-op.
 	Delete(k NodeKey) error
+}
+
+// listNodesDefaultLimit is the page size ListNodes implementations use
+// when the caller passes limit ≤ 0.
+const listNodesDefaultLimit = 1024
+
+// drainNodes implements the deprecated Keys surface on top of paging.
+func drainNodes(ns NodeStore) []NodeKey {
+	var out []NodeKey
+	var after NodeKey
+	for {
+		page, more := ns.ListNodes(after, listNodesDefaultLimit)
+		out = append(out, page...)
+		if !more || len(page) == 0 {
+			return out
+		}
+		after = page[len(page)-1]
+	}
 }
 
 // fnv64 constants (FNV-1a), inlined so per-access hashing allocates
@@ -106,10 +134,13 @@ func hashKey(k NodeKey) uint64 {
 // different blobs do not serialize on one lock.
 const memStripes = 16
 
-// memStripe is one independently locked shard of the node map.
+// memStripe is one independently locked shard of the node map. idx
+// shadows the map's key set in sorted order so ListNodes pages without
+// snapshotting the stripe.
 type memStripe struct {
-	mu sync.RWMutex
-	m  map[NodeKey]Node
+	mu  sync.RWMutex
+	m   map[NodeKey]Node
+	idx nodeIndex
 }
 
 // MemStore is an in-memory metadata provider. The node map is sharded
@@ -150,6 +181,9 @@ func (s *MemStore) stripe(k NodeKey) *memStripe {
 func (s *MemStore) Put(k NodeKey, n Node) error {
 	st := s.stripe(k)
 	st.mu.Lock()
+	if _, ok := st.m[k]; !ok {
+		st.idx.insert(k)
+	}
 	st.m[k] = n
 	st.mu.Unlock()
 	s.emit.Emit(instrument.Event{
@@ -176,24 +210,75 @@ func (s *MemStore) Get(k NodeKey) (Node, bool, error) {
 func (s *MemStore) Delete(k NodeKey) error {
 	st := s.stripe(k)
 	st.mu.Lock()
-	delete(st.m, k)
+	if _, ok := st.m[k]; ok {
+		st.idx.remove(k)
+		delete(st.m, k)
+	}
 	st.mu.Unlock()
 	return nil
 }
 
-// Keys returns a snapshot of the stored node keys. Implements NodeStore.
-func (s *MemStore) Keys() []NodeKey {
-	out := make([]NodeKey, 0, s.Len())
+// ListNodes implements NodeStore: each stripe contributes its own
+// sorted page (O(limit + log n) under a read lock) and the pages merge
+// to one. Keys are hash-striped, so every stripe must be consulted for
+// every page — but only limit keys are pulled from each.
+func (s *MemStore) ListNodes(after NodeKey, limit int) ([]NodeKey, bool) {
+	if limit <= 0 {
+		limit = listNodesDefaultLimit
+	}
+	// limit+1 from each stripe makes "more" detection exact after the
+	// merge without a second round of stripe queries.
+	merged := make([]NodeKey, 0, limit+1)
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()
-		for k := range st.m {
-			out = append(out, k)
-		}
+		page := st.idx.page(after, limit+1)
 		st.mu.RUnlock()
+		merged = mergeNodeKeys(merged, page, limit+1)
+	}
+	if len(merged) > limit {
+		return merged[:limit], true
+	}
+	return merged, false
+}
+
+// mergeNodeKeys merges two ascending key slices, keeping at most limit
+// keys. The result may alias a's backing array.
+func mergeNodeKeys(a, b []NodeKey, limit int) []NodeKey {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		if len(b) > limit {
+			b = b[:limit]
+		}
+		return append(a, b...)
+	}
+	out := make([]NodeKey, 0, min(len(a)+len(b), limit))
+	i, j := 0, 0
+	for len(out) < limit && (i < len(a) || j < len(b)) {
+		switch {
+		case i == len(a):
+			out = append(out, b[j])
+			j++
+		case j == len(b):
+			out = append(out, a[i])
+			i++
+		case nodeKeyCmp(a[i], b[j]) <= 0:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
 	}
 	return out
 }
+
+// Keys returns a snapshot of the stored node keys.
+//
+// Deprecated: page with ListNodes instead.
+func (s *MemStore) Keys() []NodeKey { return drainNodes(s) }
 
 // Len returns the number of stored nodes.
 func (s *MemStore) Len() int {
@@ -240,21 +325,33 @@ func (r *Ring) Len() int {
 	return n
 }
 
-// Keys implements NodeStore: the union of every shard's snapshot. Shards
-// that do not implement NodeStore contribute nothing — their nodes are
-// invisible to the metadata sweep and therefore never deleted (the safe
-// direction: a leak, not a lost node). Callers that act on the *absence*
-// of keys (e.g. forgetting a deleted BLOB once its nodes are gone) must
-// check NodesComplete first.
-func (r *Ring) Keys() []NodeKey {
-	var out []NodeKey
+// ListNodes implements NodeStore: the merge of every shard's page.
+// Shards that do not implement NodeStore contribute nothing — their
+// nodes are invisible to the metadata sweep and therefore never deleted
+// (the safe direction: a leak, not a lost node). Callers that act on
+// the *absence* of keys (e.g. forgetting a deleted BLOB once its nodes
+// are gone) must check NodesComplete first.
+func (r *Ring) ListNodes(after NodeKey, limit int) ([]NodeKey, bool) {
+	if limit <= 0 {
+		limit = listNodesDefaultLimit
+	}
+	merged := make([]NodeKey, 0, limit+1)
 	for _, s := range r.stores {
 		if ns, ok := s.(NodeStore); ok {
-			out = append(out, ns.Keys()...)
+			page, _ := ns.ListNodes(after, limit+1)
+			merged = mergeNodeKeys(merged, page, limit+1)
 		}
 	}
-	return out
+	if len(merged) > limit {
+		return merged[:limit], true
+	}
+	return merged, false
 }
+
+// Keys returns the union of every NodeStore shard's keys.
+//
+// Deprecated: page with ListNodes instead.
+func (r *Ring) Keys() []NodeKey { return drainNodes(r) }
 
 // NodesComplete reports whether Keys enumerates every stored node —
 // true only when every shard implements NodeStore. The garbage

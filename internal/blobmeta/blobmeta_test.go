@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -608,5 +609,131 @@ func TestDeepTreeDefaultSpan(t *testing.T) {
 	d, ok, err := tr.DescAt(1, far)
 	if err != nil || !ok || d.ID != desc("hi").ID {
 		t.Fatalf("deep read: %v %v %v", d, ok, err)
+	}
+}
+
+// TestListNodesPagingOrderAndCompleteness: ListNodes pages the full key
+// set in (Blob, Version, Lo, Hi) order with no duplicates or gaps, for
+// both a single MemStore and a Ring (whose pages merge shard pages),
+// at several page sizes including ones that straddle stripe boundaries.
+func TestListNodesPagingOrderAndCompleteness(t *testing.T) {
+	mem := NewMemStore("m1", nil, nil)
+	stores := make([]Store, 3)
+	for i := range stores {
+		stores[i] = NewMemStore(fmt.Sprintf("r%d", i), nil, nil)
+	}
+	ring, err := NewRing(stores...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	want := make([]NodeKey, 0, 500)
+	seen := map[NodeKey]bool{}
+	for len(want) < 500 {
+		k := NodeKey{
+			Blob:    uint64(rng.Intn(9)),
+			Version: uint64(1 + rng.Intn(50)),
+			Lo:      int64(rng.Intn(64)),
+		}
+		k.Hi = k.Lo + int64(1+rng.Intn(8))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		want = append(want, k)
+		if err := mem.Put(k, Node{Leaf: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ring.Put(k, Node{Leaf: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return nodeKeyCmp(want[i], want[j]) < 0 })
+
+	for _, ns := range []NodeStore{mem, ring} {
+		for _, limit := range []int{1, 7, 128, 1000} {
+			var got []NodeKey
+			var after NodeKey
+			for {
+				page, more := ns.ListNodes(after, limit)
+				if len(page) > limit {
+					t.Fatalf("page of %d exceeds limit %d", len(page), limit)
+				}
+				got = append(got, page...)
+				if !more {
+					break
+				}
+				if len(page) == 0 {
+					t.Fatal("more=true with an empty page")
+				}
+				after = page[len(page)-1]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("limit %d: paged %d keys, want %d", limit, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("limit %d: order diverges at %d: %v vs %v", limit, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestListNodesDeleteDuringPaging: keys deleted behind the cursor never
+// reappear, keys ahead of it disappear from later pages — the property
+// the gc node sweep relies on while deleting as it pages.
+func TestListNodesDeleteDuringPaging(t *testing.T) {
+	mem := NewMemStore("m1", nil, nil)
+	var keys []NodeKey
+	for i := int64(0); i < 200; i++ {
+		k := NodeKey{Blob: 1, Version: uint64(i + 1), Lo: 0, Hi: 1}
+		keys = append(keys, k)
+		if err := mem.Put(k, Node{Leaf: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []NodeKey
+	var after NodeKey
+	for {
+		page, more := mem.ListNodes(after, 10)
+		for _, k := range page {
+			got = append(got, k)
+			if err := mem.Delete(k); err != nil { // sweep-style: delete as we go
+				t.Fatal(err)
+			}
+		}
+		if !more {
+			break
+		}
+		after = page[len(page)-1]
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("delete-as-you-page visited %d keys, want %d", len(got), len(keys))
+	}
+	if mem.Len() != 0 {
+		t.Fatalf("%d keys survived a full delete sweep", mem.Len())
+	}
+}
+
+// TestKeysMatchesListNodes: the deprecated snapshot stays consistent
+// with the paged enumeration it now wraps.
+func TestKeysMatchesListNodes(t *testing.T) {
+	mem := NewMemStore("m1", nil, nil)
+	for i := int64(0); i < 300; i++ {
+		k := NodeKey{Blob: uint64(i % 5), Version: uint64(i + 1), Lo: i % 16, Hi: i%16 + 1}
+		if err := mem.Put(k, Node{Leaf: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := mem.Keys()
+	if len(keys) != mem.Len() {
+		t.Fatalf("Keys returned %d, Len says %d", len(keys), mem.Len())
+	}
+	for i := 1; i < len(keys); i++ {
+		if nodeKeyCmp(keys[i-1], keys[i]) >= 0 {
+			t.Fatal("Keys (via ListNodes) not strictly ascending")
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"blobseer/internal/policy"
 	"blobseer/internal/selfconfig"
 	"blobseer/internal/selfopt"
+	"blobseer/internal/storetest"
 )
 
 var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
@@ -19,6 +20,11 @@ func newCluster(t *testing.T, opts Options) *Cluster {
 	if opts.Clock == nil {
 		now := t0
 		opts.Clock = func() time.Time { return now }
+	}
+	if opts.ProviderStore == nil {
+		// BLOBSEER_PROVIDER_STORE=disk|tiered reruns the whole suite
+		// against the durable store implementations.
+		opts.ProviderStore = storetest.Factory(t)
 	}
 	c, err := NewCluster(opts)
 	if err != nil {

@@ -283,7 +283,8 @@ func WithGraceEpochs(n int) Option {
 	}
 }
 
-// WithPageSize sets the ListChunks page size (default 1024).
+// WithPageSize sets the inventory page size used when listing provider
+// chunks and metadata nodes (default 1024).
 func WithPageSize(n int) Option {
 	return func(m *Manager) {
 		if n > 0 {
@@ -1207,47 +1208,61 @@ func (m *Manager) sweepNodes(ctx context.Context, ms *markSet, dryRun bool) node
 		dead[b] = true
 		clean[b] = true
 	}
-	for _, k := range ns.Keys() {
-		if err := ctx.Err(); err != nil {
-			res.err = err
-			return res
+	// Page the key space instead of snapshotting it: the sweep holds at
+	// most one page of keys at a time, however many nodes the store
+	// holds. Nodes this sweep deletes are behind the cursor, so paging
+	// never skips or revisits a key.
+	var after blobmeta.NodeKey
+	var page []blobmeta.NodeKey
+	more := true
+	for more {
+		page, more = ns.ListNodes(after, m.pageSize)
+		if len(page) == 0 {
+			break
 		}
-		res.scanned++
-		if _, live := ms.nodes[k]; live {
-			// A BLOB deleted between its mark walk and the dead-set read
-			// has live-marked nodes AND sits in the dead set. Keeping the
-			// nodes is right (one-pass leak, reclaimed next pass, never
-			// over-freed) — but the BLOB must then NOT be forgotten this
-			// pass, or those nodes fall out of every future
-			// classification set and leak forever.
-			if dead[k.Blob] {
-				clean[k.Blob] = false
+		after = page[len(page)-1]
+		for _, k := range page {
+			if err := ctx.Err(); err != nil {
+				res.err = err
+				return res
 			}
-			res.live++
-			continue
-		}
-		if _, def := ms.deferred[k.Blob]; def {
-			res.kept++
-			continue
-		}
-		wm, isLive := ms.wm[k.Blob]
-		switch {
-		case dead[k.Blob], isLive && k.Version <= wm:
-			if dryRun {
-				res.swept++
-				continue
-			}
-			if err := ns.Delete(k); err != nil {
-				res.kept++
-				clean[k.Blob] = false
-				if res.err == nil {
-					res.err = fmt.Errorf("gc: delete node %v: %w", k, err)
+			res.scanned++
+			if _, live := ms.nodes[k]; live {
+				// A BLOB deleted between its mark walk and the dead-set
+				// read has live-marked nodes AND sits in the dead set.
+				// Keeping the nodes is right (one-pass leak, reclaimed
+				// next pass, never over-freed) — but the BLOB must then
+				// NOT be forgotten this pass, or those nodes fall out of
+				// every future classification set and leak forever.
+				if dead[k.Blob] {
+					clean[k.Blob] = false
 				}
+				res.live++
 				continue
 			}
-			res.swept++
-		default:
-			res.kept++
+			if _, def := ms.deferred[k.Blob]; def {
+				res.kept++
+				continue
+			}
+			wm, isLive := ms.wm[k.Blob]
+			switch {
+			case dead[k.Blob], isLive && k.Version <= wm:
+				if dryRun {
+					res.swept++
+					continue
+				}
+				if err := ns.Delete(k); err != nil {
+					res.kept++
+					clean[k.Blob] = false
+					if res.err == nil {
+						res.err = fmt.Errorf("gc: delete node %v: %w", k, err)
+					}
+					continue
+				}
+				res.swept++
+			default:
+				res.kept++
+			}
 		}
 	}
 	if !dryRun && complete {

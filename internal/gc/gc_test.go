@@ -22,6 +22,7 @@ import (
 	"blobseer/internal/pmanager"
 	"blobseer/internal/provider"
 	"blobseer/internal/s3gate"
+	"blobseer/internal/storetest"
 	"blobseer/internal/vmanager"
 )
 
@@ -31,6 +32,11 @@ func newCluster(t *testing.T, opts core.Options) *core.Cluster {
 	t.Helper()
 	if opts.Clock == nil {
 		opts.Clock = func() time.Time { return t0 }
+	}
+	if opts.ProviderStore == nil {
+		// BLOBSEER_PROVIDER_STORE=disk|tiered reruns the whole suite
+		// against the durable store implementations.
+		opts.ProviderStore = storetest.Factory(t)
 	}
 	c, err := core.NewCluster(opts)
 	if err != nil {

@@ -96,6 +96,63 @@ func (x *idIndex) remove(id chunk.ID) {
 // len returns the number of keys in the index.
 func (x *idIndex) len() int { return x.count }
 
+// page returns, in ascending order, up to limit keys strictly greater
+// than after, across the whole index. One call costs O(limit + log n):
+// the start position is found by binary search and the walk then runs
+// along consecutive blocks.
+func (x *idIndex) page(after chunk.ID, limit int) []chunk.ID {
+	if limit <= 0 || len(x.blocks) == 0 {
+		return nil
+	}
+	bi := sort.Search(len(x.blocks), func(i int) bool {
+		blk := x.blocks[i]
+		return bytes.Compare(blk[len(blk)-1][:], after[:]) > 0
+	})
+	if bi == len(x.blocks) {
+		return nil
+	}
+	blk := x.blocks[bi]
+	pos := sort.Search(len(blk), func(i int) bool {
+		return bytes.Compare(blk[i][:], after[:]) > 0
+	})
+	out := make([]chunk.ID, 0, min(limit, 1024))
+	for ; bi < len(x.blocks); bi++ {
+		blk := x.blocks[bi]
+		for ; pos < len(blk); pos++ {
+			out = append(out, blk[pos])
+			if len(out) == limit {
+				return out
+			}
+		}
+		pos = 0
+	}
+	return out
+}
+
+// IDIndex is the exported face of the always-sorted chunk-ID index, for
+// stores outside this package that must honour LifecycleStore's
+// ordered-iteration contract (the disk store backs its List with one).
+// The zero value is an empty index. Not safe for concurrent use:
+// callers guard it with the lock that guards their key set.
+type IDIndex struct {
+	x idIndex
+}
+
+// Insert adds id; inserting a present key is a no-op.
+func (ix *IDIndex) Insert(id chunk.ID) { ix.x.insert(id) }
+
+// Remove drops id; removing an absent key is a no-op.
+func (ix *IDIndex) Remove(id chunk.ID) { ix.x.remove(id) }
+
+// Len returns the number of keys.
+func (ix *IDIndex) Len() int { return ix.x.len() }
+
+// Page returns up to limit keys strictly greater than after, ascending,
+// at O(limit + log n).
+func (ix *IDIndex) Page(after chunk.ID, limit int) []chunk.ID {
+	return ix.x.page(after, limit)
+}
+
 // pageByte returns, in ascending order, up to limit keys whose first
 // byte equals first and which are strictly greater than after. Callers
 // iterate first-byte segments in order (each segment lives wholly inside

@@ -1,0 +1,51 @@
+// Package storetest selects the chunk-store implementation backing the
+// providers in cluster tests. The GC acceptance suite and the -race
+// convergence hammers were written against the in-memory store; setting
+// BLOBSEER_PROVIDER_STORE=disk (log-structured disk store) or tiered
+// (RAM hot tier over the disk store) re-runs them unmodified against
+// the durable implementations — CI does exactly that — proving the
+// provider lifecycle contract holds on disk.
+package storetest
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"blobseer/internal/diskstore"
+	"blobseer/internal/provider"
+)
+
+// EnvVar names the store selector consulted by Factory.
+const EnvVar = "BLOBSEER_PROVIDER_STORE"
+
+// Factory returns a core.Options.ProviderStore factory for the store
+// named by BLOBSEER_PROVIDER_STORE, or nil (meaning: the in-memory
+// default) when the variable is unset or "mem". Disk-backed stores live
+// under per-test temp dirs and are closed by t.Cleanup.
+func Factory(t testing.TB) func(id string) provider.Store {
+	mode := os.Getenv(EnvVar)
+	switch mode {
+	case "", "mem":
+		return nil
+	case "disk", "tiered":
+	default:
+		t.Fatalf("unknown %s=%q (want mem, disk or tiered)", EnvVar, mode)
+	}
+	var mu sync.Mutex
+	return func(id string) provider.Store {
+		mu.Lock()
+		defer mu.Unlock()
+		cold, err := diskstore.Open(t.TempDir(), diskstore.Options{})
+		if err != nil {
+			t.Fatalf("storetest: open diskstore for provider %s: %v", id, err)
+		}
+		if mode == "tiered" {
+			ts := diskstore.NewTiered(cold, 1<<20)
+			t.Cleanup(func() { ts.Close() })
+			return ts
+		}
+		t.Cleanup(func() { cold.Close() })
+		return cold
+	}
+}
