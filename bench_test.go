@@ -22,6 +22,7 @@ import (
 	"blobseer/internal/experiments"
 	"blobseer/internal/history"
 	"blobseer/internal/introspect"
+	"blobseer/internal/metrics"
 	"blobseer/internal/monitor"
 	"blobseer/internal/policy"
 	"blobseer/internal/viz"
@@ -547,15 +548,23 @@ func BenchmarkMaxMinReshape(b *testing.B) {
 // per-chunk store round trips with payload delivery.
 func BenchmarkClientStreamWrite(b *testing.B) {
 	for _, plane := range benchPlanes {
-		for _, mode := range []string{"buffered", "stream"} {
+		// The stream+metrics mode is the instrumented data path: same
+		// streaming writer with every latency histogram and byte counter
+		// live, the overhead budget the observability layer is held to.
+		for _, mode := range []string{"buffered", "stream", "stream+metrics"} {
 			name := fmt.Sprintf("plane=%s/mode=%s", plane.name, mode)
 			b.Run(name, func(b *testing.B) {
 				cluster, err := core.NewCluster(core.Options{Providers: 8, Monitoring: false})
 				if err != nil {
 					b.Fatal(err)
 				}
+				copts := []client.Option{client.WithWorkers(8)}
+				if mode == "stream+metrics" {
+					copts = append(copts, client.WithMetrics(
+						metrics.NewRegistry(metrics.Label{Name: "process", Value: "bench"})))
+				}
 				cl := client.New("bench", cluster.VM, cluster.PM,
-					delayDir{cluster, plane.rtt}, client.WithWorkers(8))
+					delayDir{cluster, plane.rtt}, copts...)
 				info, _ := cl.Create(64 << 10)
 				payload := bytes.Repeat([]byte("w"), 1<<20)
 				ctx := context.Background()
@@ -573,6 +582,7 @@ func BenchmarkClientStreamWrite(b *testing.B) {
 						}
 						continue
 					}
+					// "stream" and "stream+metrics" share the streaming path.
 					w, err := blob.NewWriter(ctx, 0)
 					if err != nil {
 						b.Fatal(err)
@@ -600,7 +610,10 @@ func BenchmarkClientStreamWrite(b *testing.B) {
 // the consumer.
 func BenchmarkClientStreamRead(b *testing.B) {
 	for _, plane := range benchPlanes {
-		for _, mode := range []string{"buffered", "stream"} {
+		// stream+metrics = the same streaming read with the full metrics
+		// registry attached (fetch/stall histograms, byte counters): the
+		// CI overhead guard compares it against the committed baseline.
+		for _, mode := range []string{"buffered", "stream", "stream+metrics"} {
 			name := fmt.Sprintf("plane=%s/mode=%s", plane.name, mode)
 			b.Run(name, func(b *testing.B) {
 				cluster, err := core.NewCluster(core.Options{Providers: 8, Monitoring: false})
@@ -613,9 +626,13 @@ func BenchmarkClientStreamRead(b *testing.B) {
 				if _, err := wr.Write(info.ID, 0, payload); err != nil {
 					b.Fatal(err)
 				}
+				copts := []client.Option{client.WithWorkers(8), client.WithPrefetch(8)}
+				if mode == "stream+metrics" {
+					copts = append(copts, client.WithMetrics(
+						metrics.NewRegistry(metrics.Label{Name: "process", Value: "bench"})))
+				}
 				cl := client.New("bench", cluster.VM, cluster.PM,
-					delayDir{cluster, plane.rtt},
-					client.WithWorkers(8), client.WithPrefetch(8))
+					delayDir{cluster, plane.rtt}, copts...)
 				ctx := context.Background()
 				blob, err := cl.Open(ctx, info.ID)
 				if err != nil {

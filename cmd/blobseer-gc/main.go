@@ -38,12 +38,16 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
 	"blobseer/internal/chunk"
 	"blobseer/internal/core"
+	"blobseer/internal/metrics"
+	"blobseer/internal/viz"
 	"blobseer/internal/vmanager"
 )
 
@@ -60,8 +64,17 @@ func main() {
 		diskOut   = flag.String("disk-out", "BENCH_disk.json", "bench: output path for the disk-plane JSON report")
 		diskCh    = flag.Int("disk-chunks", 20000, "bench: chunk population for the disk put/get/recovery planes (0 = skip all disk planes)")
 		diskSweep = flag.Int("disk-sweep-chunks", 1_000_000, "bench: orphan population for the disk sweep plane (0 = skip)")
+		run       = flag.Duration("run", 0, "runner mode: loop retention+sweep passes at this interval until interrupted (0 = off)")
+		metricsL  = flag.String("metrics-listen", "", "runner mode: HTTP listen address for GET /metrics (empty = no endpoint)")
 	)
 	flag.Parse()
+	if *run > 0 {
+		if err := runRunner(*providers, *run, *metricsL); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *bench {
 		if err := runBench(*providers, *chunks, *large, *markCh, *markVers, *out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -79,6 +92,84 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runRunner is the autonomous lifecycle loop: a cluster with a light
+// churn workload (create, write, delete) whose retention+sweep runner
+// fires at the given interval, its registry served at GET /metrics and
+// rendered to stdout as a viz panel after every few passes.
+func runRunner(providers int, interval time.Duration, metricsListen string) error {
+	reg := metrics.NewRegistry(metrics.Label{Name: "process", Value: "gc"})
+	c, err := core.NewCluster(core.Options{
+		Providers: providers, Monitoring: false, Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	if metricsListen != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() {
+			fmt.Fprintf(os.Stderr, "gc runner metrics on http://%s/metrics\n", metricsListen)
+			fmt.Fprintln(os.Stderr, http.ListenAndServe(metricsListen, mux))
+			os.Exit(1)
+		}()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() { <-sig; cancel() }()
+
+	// Churn workload: each round writes a short-lived blob and deletes
+	// the previous one, so every pass has marks to walk and sweeps to do.
+	go func() {
+		cl := c.Client("churn")
+		var prev uint64
+		data := bytes.Repeat([]byte("churn"), 4<<10/5)
+		for i := 0; ; i++ {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(interval / 2):
+			}
+			info, err := cl.Create(4 << 10)
+			if err != nil {
+				continue
+			}
+			copy(data, fmt.Sprintf("churn-%d", i))
+			_, _ = cl.Write(info.ID, 0, data)
+			if prev != 0 {
+				_ = c.GC.DeleteBlob(ctx, prev)
+			}
+			prev = info.ID
+		}
+	}()
+
+	runner := c.GCRunner(interval)
+	go func() {
+		t := time.NewTicker(5 * interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				ret, swp, passes := runner.LastReports()
+				fmt.Printf("pass %d: retired=%d swept=%d chunks (%d bytes), nodes swept=%d\n",
+					passes, ret.Retired, swp.Swept, swp.SweptBytes, swp.NodesSwept)
+				fmt.Print(viz.MetricsPanel(reg.Snapshot(), 24))
+			}
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "lifecycle runner: %d providers, pass every %s (interrupt to stop)\n",
+		providers, interval)
+	err = runner.Run(ctx)
+	if err == context.Canceled {
+		return nil
+	}
+	return err
 }
 
 // runDemo exercises the whole lifecycle on a small cluster and prints
@@ -167,6 +258,7 @@ type benchReport struct {
 	Deletes    *latB   `json:"delete_during_sweep,omitempty"`
 	Mark       *markB  `json:"mark,omitempty"`
 	Stream     streamB `json:"stream_read"`
+	Obs        *obsB   `json:"observability,omitempty"`
 }
 
 // markB measures the mark phase on a multi-version, shared-subtree-heavy
@@ -211,6 +303,85 @@ type streamB struct {
 	GCOffMBps   float64 `json:"gc_off_mbps"`
 	GCOnMBps    float64 `json:"gc_on_mbps"`
 	SweepPasses int     `json:"sweep_passes_during_read"`
+}
+
+// obsB is the observability plane: the same streamed read measured on an
+// uninstrumented cluster and on one wired to a metrics registry, so the
+// cost of the always-on instrumentation stays a committed number.
+type obsB struct {
+	Bytes       int64   `json:"bytes"`
+	PlainMBps   float64 `json:"read_mbps_plain"`
+	MetricsMBps float64 `json:"read_mbps_metrics"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// runObsBench measures streaming read throughput with and without the
+// metrics registry attached — same population, same cluster shape.
+func runObsBench(providers, chunks int) (*obsB, error) {
+	const chunkSize = 4 << 10
+	const readPasses = 4
+	live := chunks / 2
+	measure := func(reg *metrics.Registry) (float64, error) {
+		c, err := core.NewCluster(core.Options{
+			Providers: providers, Monitoring: false, GCGraceEpochs: -1, Metrics: reg,
+		})
+		if err != nil {
+			return 0, err
+		}
+		cl := c.Client("obs")
+		ctx := context.Background()
+		info, err := cl.Create(chunkSize)
+		if err != nil {
+			return 0, err
+		}
+		b, err := cl.Open(ctx, info.ID)
+		if err != nil {
+			return 0, err
+		}
+		w, err := b.NewWriter(ctx, 0)
+		if err != nil {
+			return 0, err
+		}
+		buf := make([]byte, chunkSize)
+		for i := 0; i < live; i++ {
+			copy(buf, fmt.Sprintf("obs-chunk-%d", i))
+			if _, err := w.Write(buf); err != nil {
+				return 0, err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return 0, err
+		}
+		var total int64
+		t0 := time.Now()
+		for i := 0; i < readPasses; i++ {
+			rd, err := b.NewReader(ctx, 0, 0, -1)
+			if err != nil {
+				return 0, err
+			}
+			n, err := io.Copy(io.Discard, rd)
+			rd.Close()
+			if err != nil {
+				return 0, err
+			}
+			total += n
+		}
+		return float64(total) / (1 << 20) / time.Since(t0).Seconds(), nil
+	}
+	plain, err := measure(nil)
+	if err != nil {
+		return nil, err
+	}
+	instr, err := measure(metrics.NewRegistry(metrics.Label{Name: "process", Value: "bench"}))
+	if err != nil {
+		return nil, err
+	}
+	return &obsB{
+		Bytes:       int64(live) * chunkSize * readPasses,
+		PlainMBps:   plain,
+		MetricsMBps: instr,
+		OverheadPct: (plain - instr) / plain * 100,
+	}, nil
 }
 
 // runLargeBench measures the sweep at scale: a population of `chunks`
@@ -515,6 +686,10 @@ func printDelta(base *benchReport, cur *benchReport) {
 				base.Mark.ChunksPerSec, m.ChunksPerSec, m.ChunksPerSec/base.Mark.ChunksPerSec)
 		}
 	}
+	if cur.Obs != nil {
+		fmt.Fprintf(os.Stderr, "observability: streamed read %.0f MB/s plain vs %.0f MB/s instrumented (%.1f%% overhead)\n",
+			cur.Obs.PlainMBps, cur.Obs.MetricsMBps, cur.Obs.OverheadPct)
+	}
 	if cur.SweepLarge == nil {
 		return
 	}
@@ -668,6 +843,10 @@ func runBench(providers, chunks, large, markChunks, markVersions int, out string
 		if err != nil {
 			return err
 		}
+	}
+	report.Obs, err = runObsBench(providers, chunks)
+	if err != nil {
+		return err
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -1,0 +1,47 @@
+// Command blobseer-promlint validates Prometheus text exposition read
+// from stdin (or the files named as arguments) against the same rules
+// internal/metrics.Lint enforces in tests: name/label charsets, HELP and
+// TYPE placement, sorted unique labels, and cumulative histogram
+// consistency. CI pipes live /metrics scrapes through it.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | blobseer-promlint
+//	blobseer-promlint scrape1.txt scrape2.txt
+//
+// Exit status 0 = clean, 1 = findings (one per line on stderr), 2 = I/O.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"blobseer/internal/metrics"
+)
+
+func main() {
+	bad := false
+	lint := func(name string, r io.Reader) {
+		for _, e := range metrics.Lint(r) {
+			fmt.Fprintf(os.Stderr, "%s:%d: %s\n", name, e.Line, e.Msg)
+			bad = true
+		}
+	}
+	if len(os.Args) < 2 {
+		lint("<stdin>", os.Stdin)
+	} else {
+		for _, path := range os.Args[1:] {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			lint(path, f)
+			f.Close()
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

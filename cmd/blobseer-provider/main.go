@@ -7,32 +7,47 @@
 //	blobseer-provider -id p01 -listen 127.0.0.1:9001 -zone rennes -capacity 1073741824
 //	blobseer-provider -id p01 -store disk -data-dir /var/lib/blobseer/p01
 //	blobseer-provider -id p01 -store tiered -data-dir /var/lib/blobseer/p01 -hot-bytes 268435456
+//	blobseer-provider -id p01 -metrics-listen 127.0.0.1:9101   # Prometheus /metrics
 package main
 
 import (
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"blobseer/internal/diskstore"
+	"blobseer/internal/metrics"
 	"blobseer/internal/provider"
 	"blobseer/internal/rpc"
 )
 
 func main() {
 	var (
-		id       = flag.String("id", "p01", "provider identity")
-		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
-		zone     = flag.String("zone", "default", "availability zone / site")
-		capacity = flag.Int64("capacity", 0, "capacity in bytes (0 = unbounded)")
-		store    = flag.String("store", "mem", "chunk store backend: mem, disk or tiered")
-		dataDir  = flag.String("data-dir", "", "segment directory for -store=disk/tiered")
-		hotBytes = flag.Int64("hot-bytes", 256<<20, "hot-tier cache bound for -store=tiered")
+		id         = flag.String("id", "p01", "provider identity")
+		listen     = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		zone       = flag.String("zone", "default", "availability zone / site")
+		capacity   = flag.Int64("capacity", 0, "capacity in bytes (0 = unbounded)")
+		store      = flag.String("store", "mem", "chunk store backend: mem, disk or tiered")
+		dataDir    = flag.String("data-dir", "", "segment directory for -store=disk/tiered")
+		hotBytes   = flag.Int64("hot-bytes", 256<<20, "hot-tier cache bound for -store=tiered")
+		metricsLsn = flag.String("metrics-listen", "", "HTTP listen address for GET /metrics (empty = no metrics endpoint)")
 	)
 	flag.Parse()
 
+	var reg *metrics.Registry
+	if *metricsLsn != "" {
+		reg = metrics.NewRegistry(
+			metrics.Label{Name: "process", Value: "provider"},
+			metrics.Label{Name: "node", Value: *id},
+		)
+	}
+
 	var popts []provider.Option
+	if reg != nil {
+		popts = append(popts, provider.WithMetrics(reg))
+	}
 	switch *store {
 	case "mem":
 		// The default in-memory store; -data-dir is ignored.
@@ -40,7 +55,7 @@ func main() {
 		if *dataDir == "" {
 			log.Fatalf("-store=%s requires -data-dir", *store)
 		}
-		ds, err := diskstore.Open(*dataDir, diskstore.Options{Capacity: *capacity})
+		ds, err := diskstore.Open(*dataDir, diskstore.Options{Capacity: *capacity, Metrics: reg})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +63,9 @@ func main() {
 		log.Printf("provider %s: recovered %d chunks (%d bytes) from %s",
 			*id, ds.Count(), ds.Used(), *dataDir)
 		if *store == "tiered" {
-			popts = append(popts, provider.WithStore(diskstore.NewTiered(ds, *hotBytes)))
+			ts := diskstore.NewTiered(ds, *hotBytes)
+			ts.Instrument(reg)
+			popts = append(popts, provider.WithStore(ts))
 		} else {
 			popts = append(popts, provider.WithStore(ds))
 		}
@@ -62,6 +79,15 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("provider %s (zone %s) serving on %s", *id, *zone, srv.Addr())
+
+	if reg != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() {
+			log.Printf("provider %s metrics on http://%s/metrics", *id, *metricsLsn)
+			log.Fatal(http.ListenAndServe(*metricsLsn, mux))
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -234,12 +234,29 @@ func (r *BlobReader) donate(f *chunkFuture) {
 }
 
 // await blocks until chunk idx is available or the context is cancelled.
+// With metrics attached it records how long the consumer stalled on the
+// prefetch pipeline: a zero observation (no clock read) when the chunk
+// was already resolved, the measured wait otherwise.
 func (r *BlobReader) await(idx int64) (*chunkFuture, error) {
 	fut := r.ensure(idx)
 	select {
-	case <-r.ctx.Done():
-		return nil, r.ctx.Err()
 	case <-fut.done:
+		if m := r.c.m; m != nil {
+			m.readerStall.Observe(0)
+		}
+	default:
+		var t0 time.Time
+		if r.c.m != nil {
+			t0 = r.c.now()
+		}
+		select {
+		case <-r.ctx.Done():
+			return nil, r.ctx.Err()
+		case <-fut.done:
+		}
+		if m := r.c.m; m != nil {
+			m.observe(m.readerStall, r.c.now().Sub(t0))
+		}
 	}
 	if fut.err != nil {
 		return nil, fut.err
@@ -397,6 +414,9 @@ func (r *BlobReader) Close() error {
 	}
 	if r.pinned {
 		r.c.pinner.Unpin(r.blob, r.version)
+	}
+	if m := r.c.m; m != nil && r.served > 0 {
+		m.readBytes.Add(r.served)
 	}
 	now := r.c.now()
 	// Report the bytes actually delivered, not the window size or seek
@@ -642,11 +662,25 @@ func (w *BlobWriter) flushCur() {
 	}
 	select {
 	case w.sem <- struct{}{}:
-	case <-w.ctx.Done():
-		// Cancelled: the slot is dropped; Close sees ctx.Err() and never
-		// publishes, so no version can reference the missing chunk.
-		w.c.putBuf(data)
-		return
+		if m := w.c.m; m != nil {
+			m.writerStall.Observe(0) // a flush slot was free: no stall
+		}
+	default:
+		var t0 time.Time
+		if w.c.m != nil {
+			t0 = w.c.now()
+		}
+		select {
+		case w.sem <- struct{}{}:
+			if m := w.c.m; m != nil {
+				m.observe(m.writerStall, w.c.now().Sub(t0))
+			}
+		case <-w.ctx.Done():
+			// Cancelled: the slot is dropped; Close sees ctx.Err() and never
+			// publishes, so no version can reference the missing chunk.
+			w.c.putBuf(data)
+			return
+		}
 	}
 	w.wg.Add(1)
 	go func() {
@@ -728,6 +762,9 @@ func (w *BlobWriter) Close() error {
 	w.version = version
 	w.mu.Unlock()
 
+	if m := w.c.m; m != nil && w.total > 0 {
+		m.writeBytes.Add(w.total)
+	}
 	now := w.c.now()
 	ev := instrument.Event{
 		Time: now, Actor: instrument.ActorClient, Node: w.c.user, User: w.c.user,

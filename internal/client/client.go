@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blobseer/internal/chunk"
@@ -98,6 +99,7 @@ type Client struct {
 	gate     Gatekeeper
 	pinner   Pinner
 	emit     instrument.Emitter
+	m        *pathMetrics // nil = uninstrumented
 	now      func() time.Time
 	replicas int
 	workers  int
@@ -418,6 +420,15 @@ func (c *Client) resolveVersion(blob, version uint64) (vmanager.VersionMeta, err
 // accept the chunk are returned, so callers can reclaim the stranded
 // replicas.
 func (c *Client) storeReplicas(ctx context.Context, id chunk.ID, data []byte, targets []string) ([]string, error) {
+	need := c.quorum
+	if need <= 0 || need > len(targets) {
+		need = len(targets)
+	}
+	var start time.Time
+	var okCount atomic.Int64
+	if c.m != nil {
+		start = c.now()
+	}
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
 	for k, pid := range targets {
@@ -431,6 +442,12 @@ func (c *Client) storeReplicas(ctx context.Context, id chunk.ID, data []byte, ta
 			}
 			if err := conn.Store(ctx, c.user, id, data); err != nil {
 				errs[k] = fmt.Errorf("store %s: %w", pid, err)
+				return
+			}
+			// The quorum-th landing replica is the moment a quorum write
+			// could publish; everything past it is replication slack.
+			if c.m != nil && int(okCount.Add(1)) == need {
+				c.m.observe(c.m.quorumWait, c.now().Sub(start))
 			}
 		}(k, pid)
 	}
@@ -441,13 +458,15 @@ func (c *Client) storeReplicas(ctx context.Context, id chunk.ID, data []byte, ta
 			stored = append(stored, targets[k])
 		}
 	}
-	need := c.quorum
-	if need <= 0 || need > len(targets) {
-		need = len(targets)
-	}
 	if len(stored) < need {
+		if c.m != nil {
+			c.m.observe(c.m.storeErr, c.now().Sub(start))
+		}
 		return stored, fmt.Errorf("%w: %d/%d replicas stored, quorum %d: %w",
 			ErrNoReplica, len(stored), len(targets), need, errors.Join(errs...))
+	}
+	if c.m != nil {
+		c.m.observe(c.m.storeOK, c.now().Sub(start))
 	}
 	return stored, nil
 }
@@ -556,11 +575,18 @@ func (c *Client) fetchReplica(ctx context.Context, d chunk.Desc) ([]byte, error)
 	if c.hedged && len(d.Providers) > 1 {
 		return c.fetchHedged(ctx, d)
 	}
+	var start time.Time
+	if c.m != nil {
+		start = c.now()
+	}
 	var buf []byte // pooled; reused across failover attempts
 	var lastErr error
 	for _, pid := range d.Providers {
 		if err := ctx.Err(); err != nil {
 			c.putBuf(buf)
+			if c.m != nil {
+				c.m.observe(c.m.fetchErr, c.now().Sub(start))
+			}
 			return nil, err
 		}
 		conn, err := c.dir.Lookup(ctx, pid)
@@ -575,18 +601,23 @@ func (c *Client) fetchReplica(ctx context.Context, d chunk.Desc) ([]byte, error)
 			}
 			data, err = bf.FetchBuf(ctx, c.user, d.ID, buf)
 			if err == nil {
+				c.observeFetch(start, lastErr != nil)
 				return data, nil // aliases buf: the caller owns it now
 			}
 		} else {
 			data, err = conn.Fetch(ctx, c.user, d.ID)
 			if err == nil {
 				c.putBuf(buf) // fresh allocation won: any earlier pooled buffer is spare
+				c.observeFetch(start, lastErr != nil)
 				return data, nil
 			}
 		}
 		lastErr = err
 	}
 	c.putBuf(buf)
+	if c.m != nil {
+		c.m.observe(c.m.fetchErr, c.now().Sub(start))
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -596,12 +627,30 @@ func (c *Client) fetchReplica(ctx context.Context, d chunk.Desc) ([]byte, error)
 	return nil, fmt.Errorf("%w: chunk %s: %v", ErrUnavailable, d.ID.Short(), lastErr)
 }
 
+// observeFetch records one successful serial fetch, classified by
+// whether an earlier replica had already failed (failover) or the first
+// one answered (serial).
+func (c *Client) observeFetch(start time.Time, failedOver bool) {
+	if c.m == nil {
+		return
+	}
+	h := c.m.fetchSerial
+	if failedOver {
+		h = c.m.fetchFailover
+	}
+	c.m.observe(h, c.now().Sub(start))
+}
+
 // fetchHedged races every replica and returns the first chunk served.
 // Losing fetches are cancelled — not merely discarded — the moment a
 // winner lands, via a per-race child context; when all replicas fail,
 // the per-replica errors are aggregated. A cancelled parent ctx aborts
 // the whole race promptly.
 func (c *Client) fetchHedged(ctx context.Context, d chunk.Desc) ([]byte, error) {
+	var start, firstFail time.Time
+	if c.m != nil {
+		start = c.now()
+	}
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type result struct {
@@ -630,13 +679,32 @@ func (c *Client) fetchHedged(ctx context.Context, d chunk.Desc) ([]byte, error) 
 	for range d.Providers {
 		select {
 		case <-ctx.Done():
+			if c.m != nil {
+				c.m.observe(c.m.fetchErr, c.now().Sub(start))
+			}
 			return nil, ctx.Err()
 		case r := <-ch:
 			if r.err == nil {
+				if c.m != nil {
+					now := c.now()
+					c.m.observe(c.m.fetchHedged, now.Sub(start))
+					// Win margin: how long after the first replica failure
+					// the winner landed — the failover wait a serial read
+					// would have paid on top of its failed attempt.
+					if !firstFail.IsZero() {
+						c.m.observe(c.m.hedgedMargin, now.Sub(firstFail))
+					}
+				}
 				return r.data, nil
+			}
+			if c.m != nil && firstFail.IsZero() {
+				firstFail = c.now()
 			}
 			errs = append(errs, r.err)
 		}
+	}
+	if c.m != nil {
+		c.m.observe(c.m.fetchErr, c.now().Sub(start))
 	}
 	return nil, fmt.Errorf("%w: chunk %s: %w", ErrUnavailable, d.ID.Short(), errors.Join(errs...))
 }

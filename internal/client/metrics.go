@@ -1,0 +1,79 @@
+package client
+
+import (
+	"time"
+
+	"blobseer/internal/metrics"
+)
+
+// pathMetrics holds the client's pre-resolved data-path metric handles.
+// All handles are resolved once when the client is built (WithMetrics);
+// per-chunk observations are lock-free with no map lookups or
+// allocations. A nil *pathMetrics disables instrumentation entirely,
+// including the extra clock reads.
+type pathMetrics struct {
+	fetchSerial   *metrics.Histogram // chunk served by the primary replica
+	fetchFailover *metrics.Histogram // chunk served after ≥1 replica failed
+	fetchHedged   *metrics.Histogram // chunk served by a hedged-race win
+	fetchErr      *metrics.Histogram // all replicas failed
+	storeOK       *metrics.Histogram
+	storeErr      *metrics.Histogram
+	hedgedMargin  *metrics.Histogram
+	quorumWait    *metrics.Histogram
+	readerStall   *metrics.Histogram
+	writerStall   *metrics.Histogram
+	readBytes     *metrics.Counter
+	writeBytes    *metrics.Counter
+}
+
+func newPathMetrics(reg *metrics.Registry) *pathMetrics {
+	fetch := reg.Histogram("blobseer_client_chunk_fetch_seconds",
+		"Chunk fetch latency by outcome: serial (primary replica), failover (a later replica), hedged_win (hedged-race winner), error (all replicas failed).",
+		metrics.DurationBuckets, "outcome")
+	store := reg.Histogram("blobseer_client_chunk_store_seconds",
+		"Chunk replica fan-out latency by outcome (quorum reached or not).",
+		metrics.DurationBuckets, "outcome")
+	return &pathMetrics{
+		fetchSerial:   fetch.With("serial"),
+		fetchFailover: fetch.With("failover"),
+		fetchHedged:   fetch.With("hedged_win"),
+		fetchErr:      fetch.With("error"),
+		storeOK:       store.With("ok"),
+		storeErr:      store.With("error"),
+		hedgedMargin: reg.Histogram("blobseer_client_hedged_win_margin_seconds",
+			"How long after the first replica failure the hedged winner landed — the failover wait a serial read would have paid.",
+			metrics.DurationBuckets).With(),
+		quorumWait: reg.Histogram("blobseer_client_quorum_wait_seconds",
+			"Time from replica fan-out start until the write quorum was reached.",
+			metrics.DurationBuckets).With(),
+		readerStall: reg.Histogram("blobseer_client_reader_stall_seconds",
+			"Time BlobReader.Read blocked waiting for a prefetched chunk (near-zero when the window hides provider latency).",
+			metrics.DurationBuckets).With(),
+		writerStall: reg.Histogram("blobseer_client_writer_stall_seconds",
+			"Time BlobWriter blocked waiting for a background flush slot.",
+			metrics.DurationBuckets).With(),
+		readBytes: reg.Counter("blobseer_client_read_bytes_total",
+			"Bytes served to BlobReader consumers.").With(),
+		writeBytes: reg.Counter("blobseer_client_write_bytes_total",
+			"Bytes accepted from BlobWriter producers.").With(),
+	}
+}
+
+// WithMetrics instruments the client's data path into reg: chunk
+// store/fetch latency, hedged-read win margins, quorum wait, stream
+// stall time and byte counters. A nil registry leaves the client
+// uninstrumented (no clock reads on the hot path).
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(c *Client) {
+		if reg != nil {
+			c.m = newPathMetrics(reg)
+		}
+	}
+}
+
+// observe records d into h in seconds; both no-op on a nil receiver set.
+func (m *pathMetrics) observe(h *metrics.Histogram, d time.Duration) {
+	if m != nil {
+		h.Observe(d.Seconds())
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"blobseer/internal/history"
 	"blobseer/internal/instrument"
 	"blobseer/internal/introspect"
+	"blobseer/internal/metrics"
 	"blobseer/internal/monitor"
 	"blobseer/internal/pmanager"
 	"blobseer/internal/policy"
@@ -58,6 +59,11 @@ type Options struct {
 	// for disk-backed stores and for fault/latency injection in tests;
 	// stores implementing provider.LifecycleStore stay sweepable.
 	ProviderStore func(id string) provider.Store
+	// Metrics is the process metrics registry. When set, every actor the
+	// cluster assembles — clients, providers, the GC manager, and any S3
+	// gateway built over the cluster — records its data-path series there;
+	// nil leaves the whole deployment uninstrumented (no overhead).
+	Metrics *metrics.Registry
 }
 
 // Cluster is a fully wired in-process deployment.
@@ -187,7 +193,8 @@ func NewCluster(opts Options) (*Cluster, error) {
 	c.GC = gc.New(c.VM, gcProviders{c},
 		gc.WithGraceEpochs(grace),
 		gc.WithEmitter(c.agentFor("gc")),
-		gc.WithClock(c.now))
+		gc.WithClock(c.now),
+		gc.WithMetrics(opts.Metrics))
 
 	// Self-configuration (optional).
 	if opts.Elasticity != nil {
@@ -220,6 +227,7 @@ func (c *Cluster) AddProvider() (string, error) {
 	popts := []provider.Option{
 		provider.WithEmitter(c.agentFor(id)),
 		provider.WithClock(c.now),
+		provider.WithMetrics(c.opts.Metrics),
 	}
 	if c.opts.ProviderStore != nil {
 		popts = append(popts, provider.WithStore(c.opts.ProviderStore(id)))
@@ -282,6 +290,10 @@ func (c *Cluster) Lookup(ctx context.Context, id string) (client.Conn, error) {
 	return p, nil
 }
 
+// Metrics returns the cluster's metrics registry (nil when the
+// deployment is uninstrumented).
+func (c *Cluster) Metrics() *metrics.Registry { return c.opts.Metrics }
+
 // Client returns a client bound to a user identity, wired through the
 // security gatekeeper and the introspection stack.
 func (c *Cluster) Client(user string) *client.Client {
@@ -305,6 +317,7 @@ func (c *Cluster) ClientWith(user string, extra ...client.Option) *client.Client
 		client.WithPinner(c.GC),
 		client.WithEmitter(emitter),
 		client.WithClock(c.now),
+		client.WithMetrics(c.opts.Metrics),
 	}
 	return client.New(user, c.VM, c.PM, c, append(opts, extra...)...)
 }

@@ -63,6 +63,17 @@ func (seg *segment) liveScore() int64 {
 // safe to call concurrently with all store operations (the background
 // compactor uses it); tests and benchmarks call it directly.
 func (s *DiskStore) CompactOnce() (dropped int, reclaimed int64, err error) {
+	if s.m == nil {
+		return s.compactOnce()
+	}
+	t0 := time.Now()
+	dropped, reclaimed, err = s.compactOnce()
+	s.m.since(s.m.compactDur, t0)
+	s.m.segments.Set(float64(s.Segments()))
+	return dropped, reclaimed, err
+}
+
+func (s *DiskStore) compactOnce() (dropped int, reclaimed int64, err error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"blobseer/internal/chunk"
+	"blobseer/internal/metrics"
 	"blobseer/internal/provider"
 )
 
@@ -56,6 +57,10 @@ type Options struct {
 	// default: recovery truncates torn tails, and the compactor always
 	// fsyncs before dropping a victim's old copies.
 	SyncWrites bool
+	// Metrics, when set, publishes append/read/compaction latency and
+	// recovery-time series into the registry. Nil keeps the store
+	// uninstrumented (no clock reads on the data path).
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -131,6 +136,8 @@ type DiskStore struct {
 	kick  chan struct{}
 	stopc chan struct{}
 	wg    sync.WaitGroup
+
+	m *storeMetrics // nil = uninstrumented
 }
 
 func segPath(dir string, id uint32) string {
@@ -154,7 +161,9 @@ func Open(dir string, opts Options) (*DiskStore, error) {
 		deadKeys: make(map[chunk.ID]deadKey),
 		kick:     make(chan struct{}, 1),
 		stopc:    make(chan struct{}),
+		m:        newStoreMetrics(opts.Metrics),
 	}
+	openStart := time.Now()
 	names, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("diskstore: %w", err)
@@ -191,6 +200,10 @@ func Open(dir string, opts Options) (*DiskStore, error) {
 		last.w = w
 		s.active = last
 		s.nextSeg = ids[len(ids)-1] + 1
+	}
+	if s.m != nil {
+		s.m.recovery.Set(time.Since(openStart).Seconds())
+		s.m.segments.Set(float64(len(s.segs)))
 	}
 	if opts.CompactEvery > 0 {
 		s.wg.Add(1)
@@ -373,6 +386,9 @@ func (s *DiskStore) addSegment() (*segment, error) {
 	}
 	s.active = seg
 	s.nextSeg = id + 1
+	if s.m != nil {
+		s.m.segments.Set(float64(len(s.segs)))
+	}
 	return seg, nil
 }
 
@@ -414,6 +430,16 @@ func (s *DiskStore) appendLocked(rec *record) (*segment, int64, error) {
 // one more reference and a refreshed epoch tag (content addressing
 // makes replays idempotent). Implements provider.Store.
 func (s *DiskStore) Put(id chunk.ID, data []byte) error {
+	if s.m == nil {
+		return s.put(id, data)
+	}
+	t0 := time.Now()
+	err := s.put(id, data)
+	s.m.since(s.m.appendDur, t0)
+	return err
+}
+
+func (s *DiskStore) put(id chunk.ID, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -453,6 +479,16 @@ func (s *DiskStore) Get(id chunk.ID) ([]byte, error) {
 // concurrent compaction can unlink the file but never invalidate the
 // read (the payload bytes at that offset are immutable).
 func (s *DiskStore) GetAppend(id chunk.ID, dst []byte) ([]byte, error) {
+	if s.m == nil {
+		return s.getAppend(id, dst)
+	}
+	t0 := time.Now()
+	out, err := s.getAppend(id, dst)
+	s.m.since(s.m.readDur, t0)
+	return out, err
+}
+
+func (s *DiskStore) getAppend(id chunk.ID, dst []byte) ([]byte, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"blobseer/internal/chunk"
+	"blobseer/internal/metrics"
 	"blobseer/internal/provider"
 )
 
@@ -28,6 +29,11 @@ type TieredStore struct {
 	ent      map[chunk.ID]*list.Element
 	hotBytes int64 // bound (≤ 0 disables the hot tier entirely)
 	hotUsed  int64
+
+	// Hit/miss counters (nil until Instrument): lock-free, shared with
+	// the registry so the tier placement ratio shows up on /metrics.
+	hits, misses *metrics.Counter
+	hotUsedGauge *metrics.Gauge
 }
 
 type hotEntry struct {
@@ -50,6 +56,22 @@ func NewTiered(cold *DiskStore, hotBytes int64) *TieredStore {
 // Cold returns the underlying disk store (benchmarks measure it
 // directly for cold-path numbers).
 func (t *TieredStore) Cold() *DiskStore { return t.cold }
+
+// Instrument publishes the tier's hit/miss counters and hot-tier
+// occupancy into reg as blobseer_tier_fetches_total{result="hit"|"miss"}
+// and blobseer_tier_hot_bytes. Call before serving traffic (the handles
+// are installed without synchronization); a nil registry is a no-op.
+func (t *TieredStore) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	fetches := reg.Counter("blobseer_tier_fetches_total",
+		"Tiered-store chunk fetches by tier outcome.", "result")
+	t.hits = fetches.With("hit")
+	t.misses = fetches.With("miss")
+	t.hotUsedGauge = reg.Gauge("blobseer_tier_hot_bytes",
+		"Payload bytes resident in the RAM hot tier.").With()
+}
 
 // HotUsed returns the bytes currently held by the hot tier.
 func (t *TieredStore) HotUsed() int64 {
@@ -83,6 +105,9 @@ func (t *TieredStore) admit(id chunk.ID, data []byte) {
 	}
 	t.ent[id] = t.lru.PushFront(&hotEntry{id: id, size: n})
 	t.hotUsed += n
+	if t.hotUsedGauge != nil {
+		t.hotUsedGauge.Set(float64(t.hotUsed))
+	}
 }
 
 // drop removes id from the hot tier if cached.
@@ -100,6 +125,9 @@ func (t *TieredStore) dropLocked(id chunk.ID) {
 	t.lru.Remove(el)
 	delete(t.ent, id)
 	t.hotUsed -= el.Value.(*hotEntry).size
+	if t.hotUsedGauge != nil {
+		t.hotUsedGauge.Set(float64(t.hotUsed))
+	}
 	_, _ = t.hot.Purge(id)
 }
 
@@ -139,7 +167,13 @@ func (t *TieredStore) Get(id chunk.ID) ([]byte, error) {
 // addressing makes the returned bytes correct either way).
 func (t *TieredStore) GetAppend(id chunk.ID, dst []byte) ([]byte, error) {
 	if out, ok := t.hotGet(id, dst); ok {
+		if t.hits != nil {
+			t.hits.Inc()
+		}
 		return out, nil
+	}
+	if t.misses != nil {
+		t.misses.Inc()
 	}
 	out, err := t.cold.GetAppend(id, dst)
 	if err != nil {

@@ -239,13 +239,22 @@ type Manager struct {
 	// read under its read side.
 	purged map[chunk.ID]struct{}
 
-	pinned        metrics.Gauge // outstanding pins
-	deferredBlobs metrics.Gauge // queued deletions
-	sweptChunks   metrics.Counter
-	sweptBytes    metrics.Counter
-	sweptNodes    metrics.Counter
-	reclaimedRefs metrics.Counter
-	retiredVers   metrics.Counter
+	// Metric handles. New allocates standalone instances so every
+	// observation site stays nil-check free; WithMetrics swaps them for
+	// registry-owned children so they appear on /metrics.
+	pinned        *metrics.Gauge // outstanding pins
+	deferredBlobs *metrics.Gauge // queued deletions
+	sweptChunks   *metrics.Counter
+	sweptBytes    *metrics.Counter
+	sweptNodes    *metrics.Counter
+	reclaimedRefs *metrics.Counter
+	retiredVers   *metrics.Counter
+
+	phaseMark      *metrics.Histogram // mark walk duration per pass
+	phaseSweep     *metrics.Histogram // provider inventory sweep duration per pass
+	phaseNodeSweep *metrics.Histogram // metadata-node sweep duration per pass
+	phaseRetention *metrics.Histogram // retention enforcement duration per pass
+	pinDrain       *metrics.Histogram // deferred-reclaim latency when the last pin drains
 }
 
 // Option configures a Manager.
@@ -331,6 +340,19 @@ func New(vm VersionManager, prov Providers, opts ...Option) *Manager {
 		pins:        make(map[pinKey]int),
 		pinsByBlob:  make(map[uint64]int),
 		deferred:    make(map[uint64]*deferredBlob),
+
+		pinned:         &metrics.Gauge{},
+		deferredBlobs:  &metrics.Gauge{},
+		sweptChunks:    &metrics.Counter{},
+		sweptBytes:     &metrics.Counter{},
+		sweptNodes:     &metrics.Counter{},
+		reclaimedRefs:  &metrics.Counter{},
+		retiredVers:    &metrics.Counter{},
+		phaseMark:      metrics.NewHistogram(metrics.DurationBuckets),
+		phaseSweep:     metrics.NewHistogram(metrics.DurationBuckets),
+		phaseNodeSweep: metrics.NewHistogram(metrics.DurationBuckets),
+		phaseRetention: metrics.NewHistogram(metrics.DurationBuckets),
+		pinDrain:       metrics.NewHistogram(metrics.DurationBuckets),
 	}
 	for _, o := range opts {
 		o(m)
@@ -410,11 +432,13 @@ func (m *Manager) unpin(k pinKey) bool {
 	m.mu.Unlock()
 	if def != nil {
 		m.deferredBlobs.Dec()
+		drainStart := m.now()
 		// Still under the fence's read side (taken at the top): the
 		// decrements filter against a concurrent pass's purged set
 		// without the reader's Close ever waiting on List/Purge I/O.
 		//lockio:allow decrements must stay under the fence read side so a concurrent pass's purged set filters them (see comment above)
 		m.reclaimVersions(context.Background(), def.versions) //ctxfirst:allow pin drain runs on the reader's Close path, which has no ctx; reclaim must not be abortable
+		m.pinDrain.Observe(m.now().Sub(drainStart).Seconds())
 		m.emit.Emit(instrument.Event{
 			Time: m.now(), Actor: instrument.ActorGC, Op: instrument.OpEvict, Blob: k.blob,
 		})
@@ -601,6 +625,7 @@ func (m *Manager) ReclaimDescs(ctx context.Context, descs []chunk.Desc) {
 // instant now and retires the nominated versions, skipping any version a
 // reader currently pins (the next pass retries it).
 func (m *Manager) EnforceRetention(ctx context.Context, now time.Time) (RetentionReport, error) {
+	start := m.now()
 	rep := RetentionReport{Time: now}
 	var firstErr error
 	for _, blob := range m.vm.Blobs() {
@@ -650,6 +675,7 @@ func (m *Manager) EnforceRetention(ctx context.Context, now time.Time) (Retentio
 		rep.Retired += n
 	}
 	m.retiredVers.Add(int64(rep.Retired))
+	m.phaseRetention.Observe(m.now().Sub(start).Seconds())
 	return rep, firstErr
 }
 
@@ -690,10 +716,12 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 
+	markStart := m.now()
 	ms, err := m.mark(ctx) //lockio:allow sweepMu exists to serialize whole passes, I/O included; foreground work never takes it
 	if err != nil {
 		return rep, err
 	}
+	m.phaseMark.Observe(m.now().Sub(markStart).Seconds())
 
 	// Epochs advance only after mark succeeds: an aborted pass (flaky
 	// metadata plane, cancellation) must not age unpublished writers out
@@ -752,10 +780,13 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 	// The metadata-node sweep runs alongside the provider fan-out: it
 	// touches only the metadata stores, needs no epoch and no purge
 	// fence, and is one in-memory scan against the mark set.
+	sweepStart := m.now()
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		nodeStart := m.now()
 		res := m.sweepNodes(ctx, ms, dryRun)
+		m.phaseNodeSweep.Observe(m.now().Sub(nodeStart).Seconds())
 		mu.Lock()
 		rep.NodesScanned += res.scanned
 		rep.NodesLive += res.live
@@ -797,6 +828,9 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 		}(id, epoch)
 	}
 	wg.Wait() //lockio:allow sweepMu serializes whole passes, fan-out waits included; foreground work never takes it
+	// The sweep phase covers the provider-inventory fan-out (the node
+	// sweep runs alongside it and is also timed on its own above).
+	m.phaseSweep.Observe(m.now().Sub(sweepStart).Seconds())
 
 	if !dryRun {
 		m.sweptChunks.Add(int64(rep.Swept))

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintString(s string) []LintError { return Lint(strings.NewReader(s)) }
+
+func wantClean(t *testing.T, doc string) {
+	t.Helper()
+	if errs := lintString(doc); len(errs) > 0 {
+		t.Fatalf("want clean, got %v", errs)
+	}
+}
+
+func wantError(t *testing.T, doc, substr string) {
+	t.Helper()
+	errs := lintString(doc)
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return
+		}
+	}
+	t.Fatalf("want an error containing %q, got %v", substr, errs)
+}
+
+func TestLintCleanDocument(t *testing.T) {
+	wantClean(t, `# HELP ops_total Operations.
+# TYPE ops_total counter
+ops_total{op="get"} 10
+ops_total{op="put"} 3
+# HELP temp Temperature.
+# TYPE temp gauge
+temp -3.5
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 5
+lat_seconds_bucket{le="1"} 9
+lat_seconds_bucket{le="+Inf"} 10
+lat_seconds_sum 4.2
+lat_seconds_count 10
+`)
+}
+
+func TestLintBadMetricName(t *testing.T) {
+	wantError(t, "# TYPE 1bad counter\n1bad 1\n", "invalid metric name")
+}
+
+func TestLintBadLabelName(t *testing.T) {
+	wantError(t, "# TYPE m counter\nm{1x=\"v\"} 1\n", "invalid label name")
+	wantError(t, "# TYPE m counter\nm{__hidden=\"v\"} 1\n", "invalid label name")
+}
+
+func TestLintMissingType(t *testing.T) {
+	wantError(t, "orphan 1\n", "no preceding # TYPE")
+}
+
+func TestLintHelpAfterType(t *testing.T) {
+	wantError(t, "# TYPE m counter\n# HELP m late help\nm 1\n", "after its TYPE")
+}
+
+func TestLintDuplicateTypeAndHelp(t *testing.T) {
+	wantError(t, "# HELP m a\n# HELP m b\n# TYPE m counter\nm 1\n", "duplicate HELP")
+	wantError(t, "# TYPE m counter\nm 1\n# TYPE m counter\n", "duplicate TYPE")
+}
+
+func TestLintNonContiguousFamily(t *testing.T) {
+	wantError(t, `# TYPE a counter
+a 1
+# TYPE b counter
+b 1
+a{op="late"} 2
+`, "outside its family block")
+}
+
+func TestLintUnsortedLabels(t *testing.T) {
+	wantError(t, "# TYPE m counter\nm{z=\"1\",a=\"2\"} 1\n", "not sorted")
+}
+
+func TestLintDuplicateLabels(t *testing.T) {
+	wantError(t, "# TYPE m counter\nm{a=\"1\",a=\"2\"} 1\n", "duplicate label")
+}
+
+func TestLintUnparseableValue(t *testing.T) {
+	wantError(t, "# TYPE m counter\nm abc\n", "unparseable value")
+}
+
+func TestLintHistogramMissingInf(t *testing.T) {
+	wantError(t, `# TYPE h histogram
+h_bucket{le="1"} 3
+h_sum 1.5
+h_count 3
+`, "missing terminal le=\"+Inf\"")
+}
+
+func TestLintHistogramInfCountMismatch(t *testing.T) {
+	wantError(t, `# TYPE h histogram
+h_bucket{le="1"} 3
+h_bucket{le="+Inf"} 4
+h_sum 1.5
+h_count 5
+`, "!= _count")
+}
+
+func TestLintHistogramNonMonotone(t *testing.T) {
+	wantError(t, `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`, "cumulative bucket counts decrease")
+}
+
+func TestLintHistogramMissingSum(t *testing.T) {
+	wantError(t, `# TYPE h histogram
+h_bucket{le="+Inf"} 1
+h_count 1
+`, "missing _sum")
+}
+
+func TestLintHistogramPerLabelSet(t *testing.T) {
+	// Two label sets of the same family are tracked independently.
+	wantClean(t, `# TYPE h histogram
+h_bucket{le="1",op="a"} 2
+h_bucket{le="+Inf",op="a"} 2
+h_sum{op="a"} 0.5
+h_count{op="a"} 2
+h_bucket{le="1",op="b"} 1
+h_bucket{le="+Inf",op="b"} 3
+h_sum{op="b"} 9
+h_count{op="b"} 3
+`)
+}
+
+func TestLintEscapedLabelValues(t *testing.T) {
+	wantClean(t, "# TYPE m counter\nm{k=\"a\\\\b\\\"c\\nd\"} 1\n")
+	wantError(t, "# TYPE m counter\nm{k=\"bad\\x\"} 1\n", "bad escape")
+}
+
+func TestLintSpecialValues(t *testing.T) {
+	wantClean(t, "# TYPE m gauge\nm{k=\"inf\"} +Inf\nm{k=\"nan\"} NaN\nm{k=\"neg\"} -Inf\n")
+}
+
+func TestLintTimestamps(t *testing.T) {
+	wantClean(t, "# TYPE m counter\nm 1 1712000000000\n")
+	wantError(t, "# TYPE m counter\nm 1 12.5\n", "unparseable timestamp")
+}

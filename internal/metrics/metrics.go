@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -128,10 +129,40 @@ func Summarize(pts []Point) Stats {
 	return s
 }
 
+// atomicFloat64 is a lock-free float64 cell (IEEE bits in a uint64).
+// The zero value reads as 0.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat64) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat64) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat64) Add(d float64) {
+	for {
+		old := f.bits.Load()
+		nu := math.Float64bits(math.Float64frombits(old) + d)
+		if f.bits.CompareAndSwap(old, nu) {
+			return
+		}
+	}
+}
+
+// Grow raises the cell to v if v is larger than the current value.
+func (f *atomicFloat64) Grow(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Counter is a monotonically increasing counter safe for concurrent use.
+// It is lock-free; the zero value is ready to use.
 type Counter struct {
-	mu sync.Mutex
-	v  int64
+	v atomic.Int64
 }
 
 // Add increments the counter by d (d may not be negative).
@@ -139,40 +170,26 @@ func (c *Counter) Add(d int64) {
 	if d < 0 {
 		panic("metrics: negative Counter.Add")
 	}
-	c.mu.Lock()
-	c.v += d
-	c.mu.Unlock()
+	c.v.Add(d)
 }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is a settable instantaneous value safe for concurrent use.
+// It is lock-free; the zero value is ready to use.
 type Gauge struct {
-	mu sync.Mutex
-	v  float64
+	v atomicFloat64
 }
 
 // Set stores v.
-func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
-}
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
 
 // Add adjusts the gauge by d (may be negative).
-func (g *Gauge) Add(d float64) {
-	g.mu.Lock()
-	g.v += d
-	g.mu.Unlock()
-}
+func (g *Gauge) Add(d float64) { g.v.Add(d) }
 
 // Inc increments the gauge by one.
 func (g *Gauge) Inc() { g.Add(1) }
@@ -181,11 +198,7 @@ func (g *Gauge) Inc() { g.Add(1) }
 func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
-}
+func (g *Gauge) Value() float64 { return g.v.Load() }
 
 // EWMA is an exponentially weighted moving average over irregularly
 // sampled observations. The half-life controls how fast old samples decay.
@@ -230,13 +243,14 @@ func (e *EWMA) Value() float64 {
 }
 
 // Histogram counts observations into fixed buckets defined by their upper
-// bounds; values above the last bound land in an overflow bucket.
+// bounds; values above the last bound land in an overflow bucket. Observe
+// is lock-free so histograms can sit on per-chunk hot paths.
 type Histogram struct {
-	mu     sync.Mutex
 	bounds []float64
-	counts []int64
-	sum    float64
-	n      int64
+	counts []atomic.Int64
+	sum    atomicFloat64
+	max    atomicFloat64 // largest overflow observation, for Quantile
+	n      atomic.Int64
 }
 
 // NewHistogram returns a histogram with the given strictly increasing
@@ -247,66 +261,78 @@ func NewHistogram(bounds []float64) *Histogram {
 			panic(fmt.Sprintf("metrics: histogram bounds not increasing at %d", i))
 		}
 	}
-	return &Histogram{
+	h := &Histogram{
 		bounds: append([]float64(nil), bounds...),
-		counts: make([]int64, len(bounds)+1),
+		counts: make([]atomic.Int64, len(bounds)+1),
 	}
+	h.max.Store(math.Inf(-1))
+	return h
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.sum += v
-	h.n++
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	if i == len(h.bounds) {
+		h.max.Grow(v)
+	}
+	h.n.Add(1)
 }
 
 // Count returns the total number of observations.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.n
-}
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
 
 // Mean returns the mean of all observations (zero when empty).
 func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.n == 0 {
+	n := h.n.Load()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.n)
+	return h.sum.Load() / float64(n)
 }
 
 // Buckets returns copies of the bounds and counts (counts has one extra
 // trailing overflow bucket).
 func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return append([]float64(nil), h.bounds...), append([]int64(nil), h.counts...)
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return append([]float64(nil), h.bounds...), counts
 }
 
 // Quantile returns an estimate of quantile q (0 ≤ q ≤ 1) assuming a
-// uniform distribution within buckets. The overflow bucket reports the
-// last bound.
+// uniform distribution within buckets. The overflow bucket interpolates
+// between the last bound and the largest observation seen there, so tail
+// quantiles are no longer silently capped at the last bound.
 func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.n == 0 {
+	_, counts := h.Buckets()
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
 		return 0
 	}
-	target := q * float64(h.n)
+	target := q * float64(n)
 	var cum float64
 	lo := 0.0
-	for i, c := range h.counts {
+	for i, c := range counts {
 		fc := float64(c)
 		var hi float64
 		if i < len(h.bounds) {
 			hi = h.bounds[i]
 		} else {
-			return h.bounds[len(h.bounds)-1]
+			// Overflow bucket: every value here is > the last bound, and
+			// max records the largest one, so [lo, max] brackets them all.
+			hi = h.max.Load()
+			if hi < lo {
+				hi = lo
+			}
 		}
 		if cum+fc >= target && fc > 0 {
 			frac := (target - cum) / fc

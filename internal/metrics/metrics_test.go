@@ -185,6 +185,100 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := NewHistogram([]float64{1, 2})
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Fatalf("Quantile(%v) on empty = %v, want 0", q, got)
+			}
+		}
+	})
+	t.Run("single-bucket", func(t *testing.T) {
+		h := NewHistogram([]float64{10})
+		for i := 0; i < 4; i++ {
+			h.Observe(5)
+		}
+		if q := h.Quantile(0.5); q < 0 || q > 10 {
+			t.Fatalf("q50=%v outside the only bucket [0,10]", q)
+		}
+		if q := h.Quantile(1); q != 10 {
+			t.Fatalf("q100=%v, want bucket upper bound 10", q)
+		}
+		if q := h.Quantile(0); q != 0 {
+			t.Fatalf("q0=%v, want bucket lower edge 0", q)
+		}
+	})
+	t.Run("all-overflow", func(t *testing.T) {
+		// Every observation lands past the last bound. The old code
+		// capped all quantiles at the last bound (1); interpolation
+		// against the observed max must report values beyond it.
+		h := NewHistogram([]float64{1})
+		h.Observe(50)
+		h.Observe(100)
+		if q := h.Quantile(1); q != 100 {
+			t.Fatalf("q100=%v, want observed max 100", q)
+		}
+		if q := h.Quantile(0.5); q <= 1 || q > 100 {
+			t.Fatalf("q50=%v, want within (1, 100]", q)
+		}
+	})
+	t.Run("overflow-tail", func(t *testing.T) {
+		h := NewHistogram([]float64{10, 20})
+		for i := 0; i < 90; i++ {
+			h.Observe(5)
+		}
+		for i := 0; i < 10; i++ {
+			h.Observe(200)
+		}
+		// p99 falls in the overflow bucket: must exceed the last bound
+		// instead of silently capping at 20.
+		if q := h.Quantile(0.99); q <= 20 || q > 200 {
+			t.Fatalf("q99=%v, want in (20, 200]", q)
+		}
+		if q := h.Quantile(1); q != 200 {
+			t.Fatalf("q100=%v, want 200", q)
+		}
+	})
+	t.Run("q0-and-q1", func(t *testing.T) {
+		h := NewHistogram([]float64{1, 2, 4})
+		h.Observe(1.5)
+		h.Observe(3)
+		if q := h.Quantile(0); q != 1 {
+			t.Fatalf("q0=%v, want lower edge 1 of first non-empty bucket", q)
+		}
+		if q := h.Quantile(1); q != 4 {
+			t.Fatalf("q1=%v, want upper bound 4 of last non-empty bucket", q)
+		}
+	})
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(float64((seed+j)%6) + 0.5)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	_, counts := h.Buckets()
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 8000 {
+		t.Fatalf("bucket sum=%d", sum)
+	}
+}
+
 func TestHistogramBadBoundsPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.Counter("requests_total", "Total requests.", "method")
+	v.With("GET").Add(3)
+	v.With("PUT").Inc()
+	v.With("GET").Inc()
+	if got := v.With("GET").Value(); got != 4 {
+		t.Fatalf("GET=%d", got)
+	}
+	if got := v.With("PUT").Value(); got != 1 {
+		t.Fatalf("PUT=%d", got)
+	}
+}
+
+func TestRegistryHandlesAreStable(t *testing.T) {
+	r := NewRegistry()
+	v := r.Histogram("lat_seconds", "Latency.", []float64{1}, "op")
+	h1 := v.With("get")
+	h2 := v.With("get")
+	if h1 != h2 {
+		t.Fatal("same label values must resolve to the same handle")
+	}
+	// Re-registering the same family returns the same children.
+	v2 := r.Histogram("lat_seconds", "Latency.", []float64{1}, "op")
+	if v2.With("get") != h1 {
+		t.Fatal("re-registration must preserve children")
+	}
+}
+
+func TestRegistryShapeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on re-registration with different labels")
+		}
+	}()
+	r.Counter("x_total", "X.", "b")
+}
+
+func TestRegistryInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "a-b", "a b", "a{b}"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("metric name %q should panic", bad)
+				}
+			}()
+			r.Counter(bad, "bad")
+		}()
+	}
+	for _, bad := range []string{"", "1a", "a:b", "__reserved"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("label name %q should panic", bad)
+				}
+			}()
+			r.Gauge("ok_metric", "ok", bad)
+		}()
+	}
+}
+
+func TestRegistryLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.Counter("y_total", "Y.", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on wrong label value count")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	r := NewRegistry(Label{"process", "test"})
+	c := r.Counter("blobseer_ops_total", "Operations.", "op")
+	c.With("get").Add(7)
+	c.With("put").Add(2)
+	g := r.Gauge("blobseer_pinned", "Pinned readers.")
+	g.With().Set(3)
+	h := r.Histogram("blobseer_fetch_seconds", "Fetch latency.", []float64{0.01, 0.1}, "outcome")
+	for _, v := range []float64{0.005, 0.05, 0.5} {
+		h.With("ok").Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP blobseer_ops_total Operations.\n",
+		"# TYPE blobseer_ops_total counter\n",
+		`blobseer_ops_total{op="get",process="test"} 7` + "\n",
+		`blobseer_ops_total{op="put",process="test"} 2` + "\n",
+		"# TYPE blobseer_pinned gauge\n",
+		`blobseer_pinned{process="test"} 3` + "\n",
+		"# TYPE blobseer_fetch_seconds histogram\n",
+		`blobseer_fetch_seconds_bucket{le="0.01",outcome="ok",process="test"} 1` + "\n",
+		`blobseer_fetch_seconds_bucket{le="0.1",outcome="ok",process="test"} 2` + "\n",
+		`blobseer_fetch_seconds_bucket{le="+Inf",outcome="ok",process="test"} 3` + "\n",
+		`blobseer_fetch_seconds_count{outcome="ok",process="test"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+
+	// Roundtrip: our own exposition must be lint-clean.
+	if errs := Lint(strings.NewReader(out)); len(errs) > 0 {
+		t.Fatalf("self-lint failed: %v\n%s", errs, out)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("esc", "help with \\ and\nnewline", "k")
+	g.With("va\"l\\ue\nx").Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP esc help with \\ and\nnewline`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc{k="va\"l\\ue\nx"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	if errs := Lint(strings.NewReader(out)); len(errs) > 0 {
+		t.Fatalf("lint: %v\n%s", errs, out)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "H.").With().Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content-type=%q", ct)
+	}
+	if errs := Lint(resp.Body); len(errs) > 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST status=%d, want 405", post.StatusCode)
+	}
+}
+
+func TestRegistryConcurrentResolveAndWrite(t *testing.T) {
+	r := NewRegistry()
+	v := r.Histogram("conc_seconds", "C.", []float64{0.001, 0.01}, "op")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := v.With([]string{"a", "b", "c", "d"}[i])
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(0.005)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if errs := Lint(strings.NewReader(b.String())); len(errs) > 0 {
+			t.Fatalf("lint under concurrency: %v\n%s", errs, b.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSnapshotEmptyFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("never_used_total", "Never.")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	// A family with no children emits nothing (no dangling HELP/TYPE).
+	if strings.Contains(b.String(), "never_used_total") {
+		t.Fatalf("empty family leaked into exposition:\n%s", b.String())
+	}
+}

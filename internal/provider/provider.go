@@ -299,6 +299,7 @@ type Provider struct {
 	cap  int64
 	st   Store
 	emit instrument.Emitter
+	m    *provMetrics // nil = uninstrumented
 	now  func() time.Time
 
 	stopped atomic.Bool
@@ -414,6 +415,11 @@ func (p *Provider) Store(ctx context.Context, user string, id chunk.ID, data []b
 	if err == nil {
 		p.bytesIn.Add(int64(len(data)))
 	}
+	if p.m != nil {
+		p.m.observe(p.m.storeOK, p.m.storeErr, p.now().Sub(start), err)
+		p.m.used.Set(float64(p.st.Used()))
+		p.m.chunks.Set(float64(p.st.Count()))
+	}
 	ev := instrument.Event{
 		Time: p.now(), Actor: instrument.ActorProvider, Node: p.id, User: user,
 		Op: instrument.OpStore, Bytes: int64(len(data)), Dur: p.now().Sub(start),
@@ -462,6 +468,9 @@ func (p *Provider) FetchBuf(ctx context.Context, user string, id chunk.ID, buf [
 	if err == nil {
 		p.bytesUp.Add(int64(len(data)))
 	}
+	if p.m != nil {
+		p.m.observe(p.m.fetchOK, p.m.fetchErr, p.now().Sub(start), err)
+	}
 	ev := instrument.Event{
 		Time: p.now(), Actor: instrument.ActorProvider, Node: p.id, User: user,
 		Op: instrument.OpFetch, Bytes: int64(len(data)), Dur: p.now().Sub(start),
@@ -481,6 +490,10 @@ func (p *Provider) Remove(ctx context.Context, id chunk.ID) error {
 	defer p.end()
 	err := p.st.Delete(id)
 	p.deletes.Add(1)
+	if p.m != nil {
+		p.m.used.Set(float64(p.st.Used()))
+		p.m.chunks.Set(float64(p.st.Count()))
+	}
 	ev := instrument.Event{
 		Time: p.now(), Actor: instrument.ActorProvider, Node: p.id, Op: instrument.OpDelete,
 	}
@@ -544,6 +557,10 @@ func (p *Provider) PurgeChunks(ctx context.Context, ids []chunk.ID) (int, int64,
 			freed += n
 			p.deletes.Add(1)
 		}
+	}
+	if p.m != nil {
+		p.m.used.Set(float64(p.st.Used()))
+		p.m.chunks.Set(float64(p.st.Count()))
 	}
 	if purged > 0 {
 		p.emit.Emit(instrument.Event{

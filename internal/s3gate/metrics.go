@@ -1,0 +1,93 @@
+// HTTP surface metrics: per-method/per-status request duration and
+// time-to-first-byte, plus the /metrics scrape endpoint itself. The
+// gateway picks its registry up from the cluster (core.Options.Metrics)
+// automatically; WithMetrics overrides it.
+package s3gate
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"blobseer/internal/metrics"
+)
+
+type gwMetrics struct {
+	reg    *metrics.Registry
+	reqDur *metrics.HistogramVec // method, status
+	ttfb   *metrics.HistogramVec // method
+}
+
+func newGwMetrics(reg *metrics.Registry) *gwMetrics {
+	return &gwMetrics{
+		reg: reg,
+		reqDur: reg.Histogram("blobseer_s3_request_seconds",
+			"S3 gateway request duration by method and response status.",
+			metrics.DurationBuckets, "method", "status"),
+		ttfb: reg.Histogram("blobseer_s3_ttfb_seconds",
+			"S3 gateway time to first response byte (headers committed) by method.",
+			metrics.DurationBuckets, "method"),
+	}
+}
+
+// WithMetrics attaches a metrics registry explicitly, overriding the one
+// inherited from the cluster. The gateway then records request duration
+// and TTFB and serves GET /metrics itself.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(g *Gateway) {
+		if reg != nil {
+			g.m = newGwMetrics(reg)
+		}
+	}
+}
+
+// methodLabel clamps the method label set so arbitrary request verbs
+// cannot mint unbounded series.
+func methodLabel(m string) string {
+	switch m {
+	case http.MethodGet, http.MethodPut, http.MethodPost, http.MethodDelete, http.MethodHead:
+		return m
+	default:
+		return "OTHER"
+	}
+}
+
+// statusRecorder wraps the response writer to capture the final status
+// and the moment the headers were committed (TTFB).
+type statusRecorder struct {
+	http.ResponseWriter
+	now      func() time.Time
+	start    time.Time
+	status   int
+	ttfb     time.Duration
+	ttfbSeen bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.ttfbSeen {
+		sr.ttfbSeen = true
+		sr.status = code
+		sr.ttfb = sr.now().Sub(sr.start)
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if !sr.ttfbSeen {
+		sr.WriteHeader(http.StatusOK)
+	}
+	return sr.ResponseWriter.Write(p)
+}
+
+// record books one finished request into the registry.
+func (m *gwMetrics) record(method string, sr *statusRecorder, end time.Time) {
+	status := sr.status
+	if !sr.ttfbSeen {
+		// Handler returned without writing anything: net/http sends 200.
+		status = http.StatusOK
+		sr.ttfb = end.Sub(sr.start)
+	}
+	lm := methodLabel(method)
+	m.reqDur.With(lm, strconv.Itoa(status)).Observe(end.Sub(sr.start).Seconds())
+	m.ttfb.With(lm).Observe(sr.ttfb.Seconds())
+}

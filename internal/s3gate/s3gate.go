@@ -60,6 +60,7 @@ type Gateway struct {
 	clOpts  []client.Option
 	maxObj  int64
 	chunkSz int64
+	m       *gwMetrics // nil = uninstrumented, no /metrics endpoint
 
 	mu      sync.Mutex
 	keys    map[string]string // accessKey → secret (nil = auth disabled)
@@ -137,6 +138,13 @@ func New(cluster *core.Cluster, opts ...Option) *Gateway {
 	}
 	for _, o := range opts {
 		o(g)
+	}
+	// Inherit the cluster's registry unless WithMetrics overrode it, so a
+	// metrics-enabled cluster gets an instrumented gateway for free.
+	if g.m == nil {
+		if reg := cluster.Metrics(); reg != nil {
+			g.m = newGwMetrics(reg)
+		}
 	}
 	return g
 }
@@ -228,8 +236,23 @@ func writeOpErr(w http.ResponseWriter, err error) {
 	}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. With a metrics registry attached
+// the gateway also serves GET /metrics (no authentication: the scrape
+// surface carries no object data) and records request duration/TTFB.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.m != nil {
+		if r.URL.Path == "/metrics" {
+			g.m.reg.Handler().ServeHTTP(w, r)
+			return
+		}
+		sr := &statusRecorder{ResponseWriter: w, now: g.now, start: g.now()}
+		defer func() { g.m.record(r.Method, sr, g.now()) }()
+		w = sr
+	}
+	g.serve(w, r)
+}
+
+func (g *Gateway) serve(w http.ResponseWriter, r *http.Request) {
 	user, status, err := g.authenticate(r)
 	if err != nil {
 		g.emit.Emit(instrument.Event{

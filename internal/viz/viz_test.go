@@ -138,3 +138,31 @@ func TestAccessPanelEmpty(t *testing.T) {
 		t.Fatal("missing blob row")
 	}
 }
+
+func TestMetricsPanel(t *testing.T) {
+	reg := metrics.NewRegistry(metrics.Label{Name: "process", Value: "test"})
+	reg.Counter("viz_ops_total", "ops", "kind").With("read").Add(42)
+	h := reg.Histogram("viz_latency_seconds", "lat", []float64{0.01, 0.1, 1}).With()
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05)
+	}
+	out := MetricsPanel(reg.Snapshot(), 16)
+	for _, want := range []string{"viz_ops_total{kind=read}", "42", "viz_latency_seconds", "n=100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("panel missing %q:\n%s", want, out)
+		}
+	}
+	// p50 of 100 observations at 0.05 interpolates inside (0.01, 0.1].
+	if q := bucketQuantile([]float64{0.01, 0.1, 1}, []int64{0, 100, 0, 0}, 0.5); q <= 0.01 || q > 0.1 {
+		t.Fatalf("p50=%v", q)
+	}
+	if MetricsPanel(nil, 16) == "" {
+		t.Fatal("empty snapshot should still render a header")
+	}
+	// Zero-count histograms are suppressed, not rendered as NaN.
+	reg2 := metrics.NewRegistry()
+	reg2.Histogram("viz_idle_seconds", "idle", []float64{1}).With()
+	if out := MetricsPanel(reg2.Snapshot(), 16); strings.Contains(out, "viz_idle_seconds") {
+		t.Fatalf("zero-count histogram rendered:\n%s", out)
+	}
+}
