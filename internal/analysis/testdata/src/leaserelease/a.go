@@ -1,0 +1,141 @@
+// The leaserelease fixture: a writer lease obtained from
+// OpenLease/OpenWriterLease must reach Release() on every return path,
+// unless its ownership demonstrably moves elsewhere.
+package leaserelease
+
+import "errors"
+
+var errStale = errors.New("stale")
+
+// Lease mirrors the client.Lease surface.
+type Lease struct{}
+
+func (l *Lease) ID() string { return "" }
+func (l *Lease) Renew()     {}
+func (l *Lease) Release()   {}
+
+type manager struct{}
+
+func (m *manager) OpenLease(blob, base uint64) (*Lease, error) { return &Lease{}, nil }
+
+func OpenWriterLease(blob, base uint64) (*Lease, error) { return &Lease{}, nil }
+
+func sink(l *Lease) {}
+
+// Leak releases on the happy path only.
+func Leak(m *manager, n int) error {
+	l, err := m.OpenLease(1, 2)
+	if err != nil {
+		return err
+	}
+	if n > 10 {
+		return errStale // want `writer lease l leaks on this return path`
+	}
+	l.Release()
+	return nil
+}
+
+// Deferred is the canonical correct shape: the err != nil arm holds no
+// lease, the defer covers everything after.
+func Deferred(m *manager, n int) error {
+	l, err := m.OpenLease(1, 2)
+	if err != nil {
+		return err
+	}
+	defer l.Release()
+	if n > 10 {
+		return errStale
+	}
+	l.Renew()
+	return nil
+}
+
+// EarlyAndDefer releases on the error path and defers for the rest.
+func EarlyAndDefer(n int) error {
+	l, err := OpenWriterLease(1, 2)
+	if err != nil {
+		return err
+	}
+	if n > 10 {
+		l.Release()
+		return errStale
+	}
+	defer l.Release()
+	return nil
+}
+
+// BorrowsDoNotRelease: calling methods on the lease is not a release —
+// the obligation survives Renew and ID.
+func BorrowsDoNotRelease(m *manager) string {
+	l, err := m.OpenLease(1, 2)
+	if err != nil {
+		return ""
+	}
+	l.Renew()
+	return l.ID() // want `writer lease l leaks on this return path`
+}
+
+// Transfer returns the lease to the caller — the analyzer goes silent,
+// the new owner releases.
+func Transfer(m *manager) (*Lease, error) {
+	l, err := m.OpenLease(1, 2)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// FieldStore hands the lease to a struct — the blob-writer shape; its
+// Close carries the release.
+type holder struct{ lease *Lease }
+
+func FieldStore(m *manager, h *holder) error {
+	l, err := m.OpenLease(1, 2)
+	if err != nil {
+		return err
+	}
+	h.lease = l
+	return nil
+}
+
+// Handoff passes the lease to another function — ownership moves.
+func Handoff(m *manager) {
+	l, err := m.OpenLease(1, 2)
+	if err != nil {
+		return
+	}
+	sink(l)
+}
+
+// OneArmOnly releases in one branch arm: the other arm and the
+// fallthrough still owe a release.
+func OneArmOnly(m *manager, n int) error {
+	l, err := m.OpenLease(1, 2)
+	if err != nil {
+		return err
+	}
+	if n > 10 {
+		l.Release()
+		return errStale
+	}
+	return nil // want `writer lease l leaks on this return path`
+}
+
+// FallsOffEnd never returns explicitly and never releases.
+func FallsOffEnd(m *manager) {
+	l, err := m.OpenLease(1, 2)
+	if err != nil {
+		return
+	}
+	l.Renew()
+} // want `writer lease l may leak when FallsOffEnd returns`
+
+// Allowed documents an audited exception.
+func Allowed(m *manager) error {
+	l, err := m.OpenLease(1, 2)
+	if err != nil {
+		return err
+	}
+	l.Renew()
+	return nil //leaserelease:allow the TTL reaps this probe lease by design
+}

@@ -461,12 +461,46 @@ type BlobWriter struct {
 	sem chan struct{} // WithWorkers-sized tokens bounding in-flight flushes
 	wg  sync.WaitGroup
 
+	// Writer lease (nil without WithLeaser): opened before the first
+	// byte, heartbeated while streaming, released at Close/abandon. lref
+	// is the flush path's handle — lease ID plus the providers touched —
+	// shared with the heartbeat goroutine.
+	lease Lease
+	lref  *leaseRef
+
 	mu      sync.Mutex
 	writes  map[int64]chunk.Desc
 	orphans []chunk.Desc // replicas stored by slots that then failed quorum
 	err     error
 	closed  bool
 	version uint64
+}
+
+// leaseRef carries the lease identity the flush path registers chunks
+// under, and accumulates the providers it touched so heartbeat renewals
+// and the final release reach every lease site.
+type leaseRef struct {
+	id  string
+	ttl time.Duration
+
+	mu    sync.Mutex
+	provs map[string]struct{}
+}
+
+func (l *leaseRef) noteProvider(pid string) {
+	l.mu.Lock()
+	l.provs[pid] = struct{}{}
+	l.mu.Unlock()
+}
+
+func (l *leaseRef) providers() []string {
+	l.mu.Lock()
+	out := make([]string, 0, len(l.provs))
+	for p := range l.provs {
+		out = append(out, p)
+	}
+	l.mu.Unlock()
+	return out
 }
 
 func (c *Client) newWriter(ctx context.Context, blob uint64, chunkSize, offset int64, op instrument.Op, tk *vmanager.Ticket, start time.Time) *BlobWriter {
@@ -486,7 +520,74 @@ func (c *Client) newWriter(ctx context.Context, blob uint64, chunkSize, offset i
 		w.err = err
 	}
 	w.base = base
+	// Register the writer lease before the first byte can flush: it
+	// holds the base version against retention (version 0 — a fresh
+	// BLOB — holds nothing) and names the chunk leases every flush
+	// registers at its providers. A failed open is sticky: writing
+	// unleased when the caller asked for leases would reopen exactly
+	// the reclaim races the lease exists to close.
+	if c.leaser != nil && w.err == nil {
+		lease, lerr := c.leaser.OpenLease(blob, base.Version)
+		if lerr != nil {
+			w.err = lerr
+		} else {
+			w.lease = lease
+			w.lref = &leaseRef{id: lease.ID(), ttl: c.leaseTTL, provs: make(map[string]struct{})}
+			go w.heartbeat()
+		}
+	}
 	return w
+}
+
+// heartbeat renews the writer's lease at a third of the TTL — the
+// lifecycle manager's record and each provider chunk lease touched so
+// far — so a slow stream outlives any number of TTL windows. It exits
+// when the writer's context ends; Close and abandon cancel that context
+// before releasing, so a late tick cannot resurrect a released lease.
+func (w *BlobWriter) heartbeat() {
+	interval := w.c.leaseTTL / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-t.C:
+		}
+		w.lease.Renew()
+		for _, pid := range w.lref.providers() {
+			conn, err := w.c.dir.Lookup(w.ctx, pid)
+			if err != nil {
+				continue // transient: the TTL spans several ticks, the next one retries
+			}
+			if cl, ok := conn.(ChunkLeaser); ok {
+				// Best effort for the same reason; nil ids = pure renewal.
+				_ = cl.LeaseChunks(w.ctx, w.lref.id, w.lref.ttl, nil)
+			}
+		}
+	}
+}
+
+// releaseLease drops the provider chunk leases and the lifecycle
+// record. Best effort on a fresh context: the writer's own context is
+// already cancelled by the time release runs (abandon paths arrive
+// cancelled by design), and any lease a dead provider kept is reaped by
+// TTL expiry at the next sweep.
+func (w *BlobWriter) releaseLease() {
+	ctx := context.Background() //ctxfirst:allow release must outlive the writer's cancelled context; unreachable leases fall to TTL reaping
+	for _, pid := range w.lref.providers() {
+		conn, err := w.c.dir.Lookup(ctx, pid)
+		if err != nil {
+			continue
+		}
+		if cl, ok := conn.(ChunkLeaser); ok {
+			_ = cl.ReleaseLease(ctx, w.lref.id)
+		}
+	}
+	w.lease.Release()
 }
 
 // Version returns the published version; valid after a successful Close.
@@ -686,7 +787,7 @@ func (w *BlobWriter) flushCur() {
 	go func() {
 		defer w.wg.Done()
 		defer func() { <-w.sem }()
-		idx, desc, err := w.c.storeSlot(w.ctx, w.blob, w.chunkSize, start, data, targets, w.base)
+		idx, desc, err := w.c.storeSlot(w.ctx, w.blob, w.chunkSize, start, data, targets, w.base, w.lref)
 		// The slot buffer is dead once the replica stores returned
 		// (Conn.Store does not retain payloads): back to the pool.
 		w.c.putBuf(data)
@@ -761,6 +862,14 @@ func (w *BlobWriter) Close() error {
 	w.err = err
 	w.version = version
 	w.mu.Unlock()
+
+	if w.lease != nil {
+		// Published or aborted, the lease's job is done. Cancel first —
+		// idempotent — so the heartbeat cannot renew what is being
+		// released, then drop the chunk leases and the base hold.
+		w.cancel()
+		w.releaseLease()
+	}
 
 	if m := w.c.m; m != nil && w.total > 0 {
 		m.writeBytes.Add(w.total)

@@ -53,6 +53,18 @@ type BufferedFetcher interface {
 	FetchBuf(ctx context.Context, user string, id chunk.ID, buf []byte) ([]byte, error)
 }
 
+// ChunkLeaser is an optional Conn extension: register chunk IDs under a
+// writer lease at the provider before storing them, renew with nil ids,
+// and release when the writer finishes. Both the in-process provider
+// plane and the RPC plane implement it; while a lease is live the
+// provider's wholesale purge and the GC's victim classification skip
+// its chunks. A Conn without the extension simply stores unleased — the
+// grace window is then the only protection, as before leases existed.
+type ChunkLeaser interface {
+	LeaseChunks(ctx context.Context, leaseID string, ttl time.Duration, ids []chunk.ID) error
+	ReleaseLease(ctx context.Context, leaseID string) error
+}
+
 // Directory resolves provider IDs to connections; the real plane resolves
 // to in-process providers or RPC stubs, the S3 gateway shares one.
 type Directory interface {
@@ -90,6 +102,32 @@ type Pinner interface {
 	Unpin(blob, version uint64)
 }
 
+// DefaultLeaseTTL is the writer-lease lifetime used when WithLeaseTTL
+// is not given; the writer heartbeats at a fraction of it.
+const DefaultLeaseTTL = 30 * time.Second
+
+// Lease is one writer's registration with the storage-lifecycle layer,
+// minted by a Leaser at NewWriter time. Its ID also names the chunk
+// leases the writer registers at each provider (ChunkLeaser), so one
+// identity protects the base version and the flushed chunks. Renew
+// pushes the expiry out (heartbeat); Release ends the lease and must be
+// called on every writer exit path — a lease that is never released
+// lives until its TTL lapses and the next sweep reaps it.
+type Lease interface {
+	ID() string
+	Renew()
+	Release()
+}
+
+// Leaser mints writer leases: called by NewWriter with the writer's
+// BLOB and base-version snapshot (0 for a fresh BLOB). The lifecycle
+// manager implements it (via core's wiring); while the lease lives,
+// retention will not retire the base version a partial-slot merge still
+// reads.
+type Leaser interface {
+	OpenLease(blob, baseVersion uint64) (Lease, error)
+}
+
 // Client is a BlobSeer client bound to one user identity.
 type Client struct {
 	user     string
@@ -98,6 +136,8 @@ type Client struct {
 	dir      Directory
 	gate     Gatekeeper
 	pinner   Pinner
+	leaser   Leaser
+	leaseTTL time.Duration
 	emit     instrument.Emitter
 	m        *pathMetrics // nil = uninstrumented
 	now      func() time.Time
@@ -142,6 +182,27 @@ func WithGatekeeper(g Gatekeeper) Option {
 // (default: no pinning).
 func WithPinner(p Pinner) Option {
 	return func(c *Client) { c.pinner = p }
+}
+
+// WithLeaser installs the writer-lease hook: every BlobWriter the
+// client mints registers a lease at open, leases each flushed chunk at
+// its providers, heartbeats while streaming, and releases at
+// Close/abandon (default: no leasing; the GC grace window is then the
+// only writer protection).
+func WithLeaser(l Leaser) Option {
+	return func(c *Client) { c.leaser = l }
+}
+
+// WithLeaseTTL sets the writer-lease lifetime the client requests and
+// heartbeats against (default DefaultLeaseTTL). It must match the
+// lifecycle manager's TTL order of magnitude: a TTL shorter than the
+// heartbeat interval would let live writers be reaped.
+func WithLeaseTTL(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.leaseTTL = d
+		}
+	}
 }
 
 // WithEmitter attaches instrumentation.
@@ -212,6 +273,7 @@ func New(user string, vm *vmanager.Manager, pm *pmanager.Manager, dir Directory,
 		user: user, vm: vm, pm: pm, dir: dir,
 		gate: AllowAll{}, emit: instrument.Nop{}, now: time.Now,
 		replicas: 1, workers: 8, prefetch: 4,
+		leaseTTL: DefaultLeaseTTL,
 	}
 	for _, o := range opts {
 		o(c)
@@ -419,7 +481,16 @@ func (c *Client) resolveVersion(blob, version uint64) (vmanager.VersionMeta, err
 // fully failed chunk reports why. Even on failure the providers that did
 // accept the chunk are returned, so callers can reclaim the stranded
 // replicas.
-func (c *Client) storeReplicas(ctx context.Context, id chunk.ID, data []byte, targets []string) ([]string, error) {
+//
+// When lease is non-nil, the chunk ID is registered under the writer's
+// lease at each target before the Store: registration is ordered
+// against in-flight purges at the provider, so by the time the Store
+// runs, a sweep that already classified an identical chunk as a victim
+// has either finished purging it (the Store recreates it) or will skip
+// it as leased. A lease failure counts as that replica failing — an
+// unleased replica of a still-unpublished chunk is exactly the exposure
+// leases exist to close.
+func (c *Client) storeReplicas(ctx context.Context, id chunk.ID, data []byte, targets []string, lease *leaseRef) ([]string, error) {
 	need := c.quorum
 	if need <= 0 || need > len(targets) {
 		need = len(targets)
@@ -439,6 +510,15 @@ func (c *Client) storeReplicas(ctx context.Context, id chunk.ID, data []byte, ta
 			if err != nil {
 				errs[k] = fmt.Errorf("lookup %s: %w", pid, err)
 				return
+			}
+			if lease != nil {
+				if cl, ok := conn.(ChunkLeaser); ok {
+					if err := cl.LeaseChunks(ctx, lease.id, lease.ttl, []chunk.ID{id}); err != nil {
+						errs[k] = fmt.Errorf("lease %s: %w", pid, err)
+						return
+					}
+					lease.noteProvider(pid)
+				}
 			}
 			if err := conn.Store(ctx, c.user, id, data); err != nil {
 				errs[k] = fmt.Errorf("store %s: %w", pid, err)
@@ -479,7 +559,7 @@ func (c *Client) storeReplicas(ctx context.Context, id chunk.ID, data []byte, ta
 // the slot index and the published descriptor. baseVer is the version
 // snapshot partial slots merge against — one snapshot per write, so the
 // write's edge slots cannot mix two different bases.
-func (c *Client) storeSlot(ctx context.Context, blob uint64, chunkSize, start int64, data []byte, targets []string, baseVer vmanager.VersionMeta) (int64, chunk.Desc, error) {
+func (c *Client) storeSlot(ctx context.Context, blob uint64, chunkSize, start int64, data []byte, targets []string, baseVer vmanager.VersionMeta, lease *leaseRef) (int64, chunk.Desc, error) {
 	idx := start / chunkSize
 	slotLo, _ := chunk.SlotRange(idx, chunkSize)
 	within := start - slotLo
@@ -514,7 +594,7 @@ func (c *Client) storeSlot(ctx context.Context, blob uint64, chunkSize, start in
 		}
 	}
 	id := chunk.Sum(data)
-	stored, err := c.storeReplicas(ctx, id, data, targets)
+	stored, err := c.storeReplicas(ctx, id, data, targets, lease)
 	if err != nil {
 		// Report the replicas that did land so the writer can track them
 		// for reclamation: a failed slot never publishes, so nothing else

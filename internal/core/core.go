@@ -54,6 +54,12 @@ type Options struct {
 	Elasticity       *selfconfig.Config // enable the elasticity controller
 	BaseDegree       int                // replication maintenance target (default = Replicas)
 	GCGraceEpochs    int                // sweep write-in-progress grace window (0 = default 1, -1 = none)
+	WriterLeaseTTL   time.Duration      // writer-lease lifetime without heartbeat (0 = default 30s)
+	// NoWriterLeases disables writer leasing entirely: writers register
+	// nothing and the GC grace window is the only write-in-progress
+	// protection, as before leases existed. Test-only — it reopens the
+	// reclaim-vs-writer races the leases close.
+	NoWriterLeases bool
 	// ProviderStore mints the backing chunk store for each new provider
 	// (nil, or a nil return, = the in-memory MemStore). It is the seam
 	// for disk-backed stores and for fault/latency injection in tests;
@@ -190,11 +196,16 @@ func NewCluster(opts Options) (*Cluster, error) {
 	case opts.GCGraceEpochs < 0:
 		grace = 0
 	}
-	c.GC = gc.New(c.VM, gcProviders{c},
+	gcOpts := []gc.Option{
 		gc.WithGraceEpochs(grace),
 		gc.WithEmitter(c.agentFor("gc")),
 		gc.WithClock(c.now),
-		gc.WithMetrics(opts.Metrics))
+		gc.WithMetrics(opts.Metrics),
+	}
+	if opts.WriterLeaseTTL > 0 {
+		gcOpts = append(gcOpts, gc.WithLeaseTTL(opts.WriterLeaseTTL))
+	}
+	c.GC = gc.New(c.VM, gcProviders{c}, gcOpts...)
 
 	// Self-configuration (optional).
 	if opts.Elasticity != nil {
@@ -319,6 +330,12 @@ func (c *Cluster) ClientWith(user string, extra ...client.Option) *client.Client
 		client.WithClock(c.now),
 		client.WithMetrics(c.opts.Metrics),
 	}
+	if !c.opts.NoWriterLeases {
+		opts = append(opts, client.WithLeaser(writerLeases{c.GC}))
+		if c.opts.WriterLeaseTTL > 0 {
+			opts = append(opts, client.WithLeaseTTL(c.opts.WriterLeaseTTL))
+		}
+	}
 	return client.New(user, c.VM, c.PM, c, append(opts, extra...)...)
 }
 
@@ -440,6 +457,37 @@ func (a gcProviders) Epoch(_ context.Context, id string) (uint64, error) {
 
 func (a gcProviders) Remove(ctx context.Context, id string, ch chunk.ID) error {
 	return poolAdapter{a.c}.Remove(ctx, id, ch)
+}
+
+func (a gcProviders) Leases(ctx context.Context, id string) ([]provider.LeaseInfo, error) {
+	p, ok := a.c.Provider(id)
+	if !ok {
+		return nil, fmt.Errorf("core: no provider %s", id)
+	}
+	return p.Leases(ctx)
+}
+
+func (a gcProviders) ReleaseLease(ctx context.Context, id, leaseID string) error {
+	p, ok := a.c.Provider(id)
+	if !ok {
+		return fmt.Errorf("core: no provider %s", id)
+	}
+	return p.ReleaseLease(ctx, leaseID)
+}
+
+// writerLeases adapts the lifecycle manager to the client's Leaser
+// hook. The indirection exists for the interface types: OpenWriterLease
+// returns the concrete *gc.WriterLease, and returning it through an
+// interface-typed error path directly would hand callers a typed-nil
+// client.Lease.
+type writerLeases struct{ g *gc.Manager }
+
+func (w writerLeases) OpenLease(blob, base uint64) (client.Lease, error) {
+	l, err := w.g.OpenWriterLease(blob, base)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
 }
 
 // GCRunner returns a background lifecycle runner (periodic retention +

@@ -27,6 +27,20 @@
 //     unreferenced chunks whose Put-epoch tag is at least GraceEpochs
 //     windows old are reclaimed.
 //
+//   - Writer leases: a BlobWriter registers a lease at open
+//     (OpenWriterLease) and releases it at Close/abandon. The lease holds
+//     the writer's base version in the version manager (retention skips
+//     it, so the nodes a partial-slot merge reads stay marked), and its
+//     ID names per-provider chunk leases the writer registers as flushes
+//     land — the sweep's victim classification and the provider's Purge
+//     both skip leased chunks, so an unpublished writer survives any
+//     number of sweep passes and a same-content re-put can never lose to
+//     the purge of an already-classified victim. Leases expire after a
+//     TTL without heartbeat and are reaped at the next sweep, so a
+//     crashed gateway cannot pin storage forever. With leases in place,
+//     the grace window above is belt-and-suspenders, not the correctness
+//     mechanism.
+//
 // The mark phase runs at metadata speed: BLOBs fan out over a bounded
 // worker pool (WithMarkWorkers), and within a BLOB the walk is node
 // aware — the versioned segment trees share every untouched subtree
@@ -78,6 +92,10 @@ type VersionManager interface {
 	DeleteExact(blob uint64) ([]vmanager.VersionSlots, error)
 	RetentionCandidates(blob uint64, now time.Time) ([]uint64, error)
 	RetireVersions(blob uint64, vers []uint64) (int, error)
+	// HoldVersion / ReleaseVersion pin one published version against
+	// retirement on behalf of a writer lease (see OpenWriterLease).
+	HoldVersion(blob, version uint64) error
+	ReleaseVersion(blob, version uint64)
 	MetaStore() blobmeta.Store
 	Forget(blob uint64) error
 }
@@ -112,6 +130,11 @@ type Providers interface {
 	Epoch(ctx context.Context, providerID string) (uint64, error)
 	// Remove drops one reference of a chunk (the exact-reclaim fast path).
 	Remove(ctx context.Context, providerID string, id chunk.ID) error
+	// Leases enumerates the provider's writer leases (expired included)
+	// so the sweep can classify against live ones and reap dead ones.
+	Leases(ctx context.Context, providerID string) ([]provider.LeaseInfo, error)
+	// ReleaseLease drops one writer lease at the provider.
+	ReleaseLease(ctx context.Context, providerID, leaseID string) error
 }
 
 // pinKey identifies one pinned (blob, version).
@@ -149,9 +172,14 @@ type SweepReport struct {
 	Failed     int   // providers that could not be listed or purged
 	Scanned    int   // chunks examined across all providers
 	Live       int   // chunks marked live (referenced by a retained version or deferred snapshot)
+	Leased     int   // unreferenced chunks protected by a live writer lease
 	InGrace    int   // unreferenced chunks protected by the write-in-progress grace window
 	Swept      int   // unreferenced chunks reclaimed (counted, not removed, under DryRun)
 	SweptBytes int64 // payload bytes reclaimed
+
+	// LeasesReaped counts expired lease records dropped this pass —
+	// gateway-side base holds and provider-side chunk leases combined.
+	LeasesReaped int
 
 	// Metadata-node sweep (zero when the metadata store does not
 	// implement blobmeta.NodeStore).
@@ -182,6 +210,7 @@ type RetentionReport struct {
 	BlobsScanned  int
 	Retired       int // versions retired
 	PinnedSkipped int // candidate versions skipped because a reader pins them
+	LeasedSkipped int // candidate versions skipped because a writer lease holds them as base
 
 	// Err is the first error the pass hit ("" = clean), recorded by the
 	// background runner so a degraded metadata plane is visible in
@@ -199,6 +228,8 @@ type Stats struct {
 	SweptNodes    int64 // metadata-tree nodes reclaimed by sweeps so far
 	ReclaimedRefs int64 // refcount decrements issued by the deletion fast path
 	RetiredVers   int64 // versions retired by retention so far
+	ActiveLeases  int   // writer leases currently registered with this manager
+	ReapedLeases  int64 // expired lease records reaped by sweeps so far
 }
 
 // Manager is the storage-lifecycle actor.
@@ -218,6 +249,15 @@ type Manager struct {
 	pins       map[pinKey]int
 	pinsByBlob map[uint64]int
 	deferred   map[uint64]*deferredBlob
+
+	// Writer leases (see lease.go). leaseMu is independent of m.mu: the
+	// lease table is touched by writer open/renew/close and by the
+	// sweep's reap, never under the pin lock.
+	leaseMu    sync.Mutex
+	leases     map[string]*writerLeaseState
+	leaseNonce string // per-manager lease-ID prefix (cross-process unique)
+	leaseSeq   uint64
+	leaseTTL   time.Duration
 
 	sweepMu sync.Mutex // serializes sweeps against each other only
 
@@ -249,6 +289,8 @@ type Manager struct {
 	sweptNodes    *metrics.Counter
 	reclaimedRefs *metrics.Counter
 	retiredVers   *metrics.Counter
+	leasesActive  *metrics.Gauge // registered writer leases
+	leasesReaped  *metrics.Counter
 
 	phaseMark      *metrics.Histogram // mark walk duration per pass
 	phaseSweep     *metrics.Histogram // provider inventory sweep duration per pass
@@ -340,6 +382,9 @@ func New(vm VersionManager, prov Providers, opts ...Option) *Manager {
 		pins:        make(map[pinKey]int),
 		pinsByBlob:  make(map[uint64]int),
 		deferred:    make(map[uint64]*deferredBlob),
+		leases:      make(map[string]*writerLeaseState),
+		leaseNonce:  newLeaseNonce(),
+		leaseTTL:    provider.DefaultLeaseTTL,
 
 		pinned:         &metrics.Gauge{},
 		deferredBlobs:  &metrics.Gauge{},
@@ -348,6 +393,8 @@ func New(vm VersionManager, prov Providers, opts ...Option) *Manager {
 		sweptNodes:     &metrics.Counter{},
 		reclaimedRefs:  &metrics.Counter{},
 		retiredVers:    &metrics.Counter{},
+		leasesActive:   &metrics.Gauge{},
+		leasesReaped:   &metrics.Counter{},
 		phaseMark:      metrics.NewHistogram(metrics.DurationBuckets),
 		phaseSweep:     metrics.NewHistogram(metrics.DurationBuckets),
 		phaseNodeSweep: metrics.NewHistogram(metrics.DurationBuckets),
@@ -623,10 +670,14 @@ func (m *Manager) ReclaimDescs(ctx context.Context, descs []chunk.Desc) {
 
 // EnforceRetention evaluates every live BLOB's retention policy at
 // instant now and retires the nominated versions, skipping any version a
-// reader currently pins (the next pass retries it).
+// reader currently pins or a writer lease holds as its base (the next
+// pass retries both). The lease skip here is for report visibility; the
+// version manager's own hold makes the skip authoritative even for
+// direct RetireVersions callers.
 func (m *Manager) EnforceRetention(ctx context.Context, now time.Time) (RetentionReport, error) {
 	start := m.now()
 	rep := RetentionReport{Time: now}
+	leased := m.leasedBases()
 	var firstErr error
 	for _, blob := range m.vm.Blobs() {
 		if err := ctx.Err(); err != nil {
@@ -655,6 +706,10 @@ func (m *Manager) EnforceRetention(ctx context.Context, now time.Time) (Retentio
 		for _, v := range cands {
 			if m.pins[pinKey{blob, v}] > 0 {
 				rep.PinnedSkipped++
+				continue
+			}
+			if leased[pinKey{blob, v}] {
+				rep.LeasedSkipped++
 				continue
 			}
 			keep = append(keep, v)
@@ -696,6 +751,12 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 	defer m.sweepMu.Unlock()
 
 	rep := SweepReport{Time: m.now(), DryRun: dryRun}
+	if !dryRun {
+		// A writer that stopped heartbeating is dead; drop its base hold
+		// before retention and mark run so the expiry actually frees
+		// anything this pass. Dry-runs classify but never reap.
+		rep.LeasesReaped += m.reapWriterLeases()
+	}
 	var mu sync.Mutex // guards rep and firstErr during the fan-outs
 	var firstErr error
 	fail := func(err error) {
@@ -818,10 +879,13 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 			}
 			rep.Scanned += res.scanned
 			rep.Live += res.live
+			rep.Leased += res.leased
 			rep.InGrace += res.inGrace
 			rep.Swept += res.swept
 			rep.SweptBytes += res.sweptBytes
+			rep.LeasesReaped += res.leasesReaped
 			mu.Unlock()
+			m.leasesReaped.Add(int64(res.leasesReaped))
 			if res.err != nil {
 				fail(res.err)
 			}
@@ -846,21 +910,62 @@ func (m *Manager) Sweep(ctx context.Context, dryRun bool) (SweepReport, error) {
 
 // provSweep is one provider's share of a sweep pass.
 type provSweep struct {
-	counted                       bool // provider completed its listing (counts in Providers)
-	failed                        bool
-	scanned, live, inGrace, swept int
-	sweptBytes                    int64
-	err                           error
+	counted                               bool // provider completed its listing (counts in Providers)
+	failed                                bool
+	scanned, live, leased, inGrace, swept int
+	leasesReaped                          int
+	sweptBytes                            int64
+	err                                   error
 }
 
 // sweepProvider pages one provider's inventory, classifies every chunk
-// against the mark set and the grace window, and purges victims in
-// batches as the scan goes — victims never accumulate past one batch
-// beyond the page in flight. Reclaimed space is counted from what Purge
-// actually freed, not from the classification: a failed provider must
-// not report its victims as swept.
+// against the mark set, the provider's writer leases and the grace
+// window, and purges victims in batches as the scan goes — victims
+// never accumulate past one batch beyond the page in flight. Reclaimed
+// space is counted from what Purge actually freed, not from the
+// classification: a failed provider must not report its victims as
+// swept.
+//
+// Lease handling is fail-safe at both steps: if the leases cannot be
+// enumerated at all, the provider's whole share aborts (a lease we
+// never saw might be protecting anything); if an expired lease cannot
+// be confirmed released, its chunks stay protected this pass and the
+// failure surfaces in the report.
 func (m *Manager) sweepProvider(ctx context.Context, id string, epoch uint64, marked map[chunk.ID]bool, dryRun bool) provSweep {
 	var res provSweep
+	leaseList, err := m.prov.Leases(ctx, id)
+	if err != nil {
+		res.failed = true
+		res.err = fmt.Errorf("gc: list leases %s: %w", id, err)
+		return res
+	}
+	now := m.now()
+	leased := make(map[chunk.ID]struct{})
+	for _, li := range leaseList {
+		if now.After(li.Expires) {
+			if dryRun {
+				// Expired: classified as unprotected (what a real sweep
+				// would see), but dry-runs never mutate lease state.
+				continue
+			}
+			if rerr := m.prov.ReleaseLease(ctx, id, li.ID); rerr != nil {
+				// Could not confirm the lease dead — keep protecting its
+				// chunks and surface the failure.
+				for _, c := range li.Chunks {
+					leased[c] = struct{}{}
+				}
+				if res.err == nil {
+					res.err = fmt.Errorf("gc: reap lease %s at %s: %w", li.ID, id, rerr)
+				}
+				continue
+			}
+			res.leasesReaped++
+			continue
+		}
+		for _, c := range li.Chunks {
+			leased[c] = struct{}{}
+		}
+	}
 	var victims []chunk.ID
 	flush := func() error {
 		for len(victims) > 0 {
@@ -891,9 +996,15 @@ func (m *Manager) sweepProvider(ctx context.Context, id string, epoch uint64, ma
 		}
 		for _, info := range page {
 			res.scanned++
+			_, isLeased := leased[info.ID]
 			switch {
 			case marked[info.ID]:
 				res.live++
+			case isLeased:
+				// A live writer lease names this chunk: an unpublished
+				// writer flushed it (or re-put identical content), and no
+				// number of elapsed grace epochs makes it a victim.
+				res.leased++
 			case info.Epoch+m.grace >= epoch:
 				// Possibly an unpublished writer's flush: protected
 				// until it has sat unreferenced through the grace
@@ -1317,7 +1428,12 @@ func (m *Manager) Stats() Stats {
 	entries := len(m.pins)
 	deferred := len(m.deferred)
 	m.mu.Unlock()
+	m.leaseMu.Lock()
+	activeLeases := len(m.leases)
+	m.leaseMu.Unlock()
 	return Stats{
+		ActiveLeases:  activeLeases,
+		ReapedLeases:  m.leasesReaped.Value(),
 		Pins:          int(m.pinned.Value()),
 		PinnedEntries: entries,
 		DeferredBlobs: deferred,

@@ -378,8 +378,10 @@ func TestSweepGraceProtectsUnpublishedWriter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Swept != 0 || rep.InGrace != 1 {
-		t.Fatalf("sweep during write = %+v, want InGrace 1 Swept 0", rep)
+	// With writer leases on (the cluster default) the flushed chunk is
+	// classified leased; either way it must not be swept.
+	if rep.Swept != 0 || rep.Leased+rep.InGrace != 1 {
+		t.Fatalf("sweep during write = %+v, want Leased+InGrace 1 Swept 0", rep)
 	}
 	if totalChunks(c) != 1 {
 		t.Fatal("unpublished writer's chunk was swept")
@@ -434,6 +436,14 @@ func (tp testProviders) Epoch(_ context.Context, id string) (uint64, error) {
 
 func (tp testProviders) Remove(ctx context.Context, id string, ch chunk.ID) error {
 	return tp.m[id].Remove(ctx, ch)
+}
+
+func (tp testProviders) Leases(ctx context.Context, id string) ([]provider.LeaseInfo, error) {
+	return tp.m[id].Leases(ctx)
+}
+
+func (tp testProviders) ReleaseLease(ctx context.Context, id, leaseID string) error {
+	return tp.m[id].ReleaseLease(ctx, leaseID)
 }
 
 // lateConn simulates the RPC plane's accounting gap: a Store the client

@@ -13,6 +13,8 @@ import "blobseer/internal/metrics"
 //	blobseer_gc_swept_nodes_total         counter  metadata-tree nodes reclaimed
 //	blobseer_gc_reclaimed_refs_total      counter  fast-path refcount decrements
 //	blobseer_gc_retired_versions_total    counter  versions retired by retention
+//	blobseer_gc_leases_active             gauge    writer leases currently registered
+//	blobseer_gc_leases_reaped_total       counter  expired lease records reaped by sweeps
 //	blobseer_gc_phase_seconds{phase=...}  hist     mark | sweep | node_sweep | retention
 //	blobseer_gc_pin_drain_seconds         hist     deferred-reclaim latency on last-pin drain
 //
@@ -37,6 +39,10 @@ func WithMetrics(reg *metrics.Registry) Option {
 			"Refcount decrements issued by the deletion fast path.").With()
 		m.retiredVers = reg.Counter("blobseer_gc_retired_versions_total",
 			"Versions retired by retention enforcement.").With()
+		m.leasesActive = reg.Gauge("blobseer_gc_leases_active",
+			"Writer leases currently registered with the lifecycle manager.").With()
+		m.leasesReaped = reg.Counter("blobseer_gc_leases_reaped_total",
+			"Expired writer-lease records reaped by sweep passes.").With()
 		phase := reg.Histogram("blobseer_gc_phase_seconds",
 			"GC pass phase duration by phase.", metrics.DurationBuckets, "phase")
 		m.phaseMark = phase.With("mark")

@@ -309,6 +309,8 @@ type Provider struct {
 	bytesIn atomic.Int64
 	bytesUp atomic.Int64
 	active  atomic.Int64
+
+	leases leaseTable // writer leases; consulted by PurgeChunks
 }
 
 // Option configures a Provider.
@@ -352,6 +354,7 @@ func New(id, zone string, capacity int64, opts ...Option) *Provider {
 		emit: instrument.Nop{},
 		now:  time.Now,
 	}
+	p.leases.init()
 	for _, o := range opts {
 		o(p)
 	}
@@ -535,7 +538,11 @@ func (p *Provider) ListChunks(ctx context.Context, after chunk.ID, limit int) ([
 // PurgeChunks frees the given chunks wholesale (refcounts ignored),
 // returning how many were present and the bytes freed. Only the
 // garbage collector's sweep — which has proven the chunks unreferenced —
-// may call it.
+// may call it. Chunks protected by a live writer lease are skipped
+// (belt and suspenders: the sweep also classifies them out), and each
+// purge is ordered against racing lease registrations so a re-put under
+// a fresh lease can never be eaten by an already-classified victim's
+// purge.
 func (p *Provider) PurgeChunks(ctx context.Context, ids []chunk.ID) (int, int64, error) {
 	if err := p.begin(ctx); err != nil {
 		return 0, 0, err
@@ -548,7 +555,7 @@ func (p *Provider) PurgeChunks(ctx context.Context, ids []chunk.ID) (int, int64,
 	var purged int
 	var freed int64
 	for _, id := range ids {
-		n, err := ls.Purge(id)
+		n, err := p.leases.purge(id, p.now(), func() (int64, error) { return ls.Purge(id) })
 		if err != nil {
 			return purged, freed, err
 		}

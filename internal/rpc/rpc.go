@@ -12,6 +12,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
 	"blobseer/internal/chunk"
 	"blobseer/internal/client"
@@ -73,6 +74,25 @@ type PurgeReply struct {
 // EpochReply carries a provider's sweep epoch.
 type EpochReply struct {
 	Epoch uint64
+}
+
+// LeaseChunksArgs is the wire form of a writer-lease registration or
+// renewal (nil IDs = pure heartbeat).
+type LeaseChunksArgs struct {
+	LeaseID string
+	TTL     time.Duration
+	IDs     []chunk.ID
+}
+
+// ReleaseLeaseArgs is the wire form of a writer-lease release.
+type ReleaseLeaseArgs struct {
+	LeaseID string
+}
+
+// LeasesReply carries the provider's writer-lease table (expired leases
+// included, for the sweep's reaping).
+type LeasesReply struct {
+	Leases []provider.LeaseInfo
 }
 
 // ProviderService exports one data provider over net/rpc.
@@ -139,6 +159,28 @@ func (s *ProviderService) Epoch(_ *struct{}, reply *EpochReply) error {
 	e, err := s.P.Epoch()
 	reply.Epoch = e
 	return err
+}
+
+// LeaseChunks registers or renews a writer lease: a gateway-side writer
+// in another process protects its flushed chunks against this
+// provider's purge and a remote GC runner's sweep.
+func (s *ProviderService) LeaseChunks(args *LeaseChunksArgs, _ *struct{}) error {
+	return s.P.LeaseChunks(context.Background(), args.LeaseID, args.TTL, args.IDs) //ctxfirst:allow net/rpc carries no wire deadline; cancellation is client-side
+}
+
+// ReleaseLease drops one writer lease.
+func (s *ProviderService) ReleaseLease(args *ReleaseLeaseArgs, _ *struct{}) error {
+	return s.P.ReleaseLease(context.Background(), args.LeaseID) //ctxfirst:allow net/rpc carries no wire deadline; cancellation is client-side
+}
+
+// Leases enumerates the provider's writer leases for the sweep.
+func (s *ProviderService) Leases(_ *struct{}, reply *LeasesReply) error {
+	leases, err := s.P.Leases(context.Background()) //ctxfirst:allow net/rpc carries no wire deadline; cancellation is client-side
+	if err != nil {
+		return err
+	}
+	reply.Leases = leases
+	return nil
 }
 
 // Server hosts one provider on a TCP listener.
@@ -295,6 +337,31 @@ func (c *Conn) Epoch(ctx context.Context) (uint64, error) {
 	}
 	return reply.Epoch, nil
 }
+
+// LeaseChunks implements client.ChunkLeaser over the wire: a writer's
+// lease protections survive process boundaries, so a gateway's
+// unpublished writer is honoured by a GC runner sweeping the same
+// provider from another process.
+func (c *Conn) LeaseChunks(ctx context.Context, leaseID string, ttl time.Duration, ids []chunk.ID) error {
+	return c.call(ctx, "Provider.LeaseChunks", &LeaseChunksArgs{LeaseID: leaseID, TTL: ttl, IDs: ids}, &struct{}{})
+}
+
+// ReleaseLease implements client.ChunkLeaser over the wire.
+func (c *Conn) ReleaseLease(ctx context.Context, leaseID string) error {
+	return c.call(ctx, "Provider.ReleaseLease", &ReleaseLeaseArgs{LeaseID: leaseID}, &struct{}{})
+}
+
+// Leases fetches the remote provider's writer-lease table (the sweep's
+// lease enumeration).
+func (c *Conn) Leases(ctx context.Context) ([]provider.LeaseInfo, error) {
+	var reply LeasesReply
+	if err := c.call(ctx, "Provider.Leases", &struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Leases, nil
+}
+
+var _ client.ChunkLeaser = (*Conn)(nil)
 
 // Close closes the connection.
 func (c *Conn) Close() error { return c.c.Close() }

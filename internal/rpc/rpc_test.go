@@ -5,6 +5,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"blobseer/internal/blobmeta"
 	"blobseer/internal/chunk"
@@ -217,5 +218,61 @@ func TestLifecycleRPCs(t *testing.T) {
 	}
 	if p.Stats().Chunks != 2 {
 		t.Fatalf("chunks after rpc purge = %d, want 2", p.Stats().Chunks)
+	}
+}
+
+// TestLeaseRPCs round-trips the writer-lease surface over TCP: chunks
+// registered under a lease survive a wholesale purge, enumeration
+// reports the lease with its IDs, renewal is an empty registration, and
+// release makes the chunks purgeable again.
+func TestLeaseRPCs(t *testing.T) {
+	p, srv := startProvider(t, "p1")
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	data := []byte("leased-over-the-wire")
+	id := chunk.Sum(data)
+	if err := conn.LeaseChunks(bg, "wl-test-1", time.Minute, []chunk.ID{id}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Store(bg, "u", id, data); err != nil {
+		t.Fatal(err)
+	}
+
+	leases, err := conn.Leases(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leases) != 1 || leases[0].ID != "wl-test-1" ||
+		len(leases[0].Chunks) != 1 || leases[0].Chunks[0] != id {
+		t.Fatalf("leases over rpc = %+v", leases)
+	}
+	if leases[0].Expires.IsZero() {
+		t.Fatal("lease expiry did not survive the wire")
+	}
+
+	// A leased chunk is skipped by purge, not deleted.
+	purged, _, err := conn.Purge(bg, []chunk.ID{id})
+	if err != nil || purged != 0 {
+		t.Fatalf("purge of leased chunk = %d, %v, want 0 skipped", purged, err)
+	}
+	if p.Stats().Chunks != 1 {
+		t.Fatal("leased chunk was purged")
+	}
+
+	// Renewal with no new IDs keeps the registration alive.
+	if err := conn.LeaseChunks(bg, "wl-test-1", time.Minute, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := conn.ReleaseLease(bg, "wl-test-1"); err != nil {
+		t.Fatal(err)
+	}
+	purged, _, err = conn.Purge(bg, []chunk.ID{id})
+	if err != nil || purged != 1 {
+		t.Fatalf("purge after release = %d, %v, want 1", purged, err)
 	}
 }

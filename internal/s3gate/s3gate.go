@@ -408,7 +408,10 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket
 	// version that would immediately be reclaimed) and drops the blob.
 	// Chunks already flushed by the writer were never published, so the
 	// lifecycle manager cannot enumerate them from metadata — they are
-	// reclaimed via the writer's own per-slot descriptors.
+	// reclaimed via the writer's own per-slot descriptors. Close also
+	// releases the writer's lease (gateway writers lease by default via
+	// the cluster wiring), so an abandoned PUT protects nothing once the
+	// reclaim below has run.
 	abandon := func() {
 		cancel()
 		_ = bw.Close()

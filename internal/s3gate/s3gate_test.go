@@ -833,3 +833,88 @@ func TestStreamingGetSurvivesConcurrentOverwrite(t *testing.T) {
 		t.Fatal("overwrite not visible to new readers")
 	}
 }
+
+// failAfterReader yields n bytes then fails: a client that dies mid-PUT.
+type failAfterReader struct {
+	n   int
+	err error
+}
+
+func (r *failAfterReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, r.err
+	}
+	if len(p) > r.n {
+		p = p[:r.n]
+	}
+	for i := range p {
+		p[i] = 'f'
+	}
+	r.n -= len(p)
+	return len(p), nil
+}
+
+// TestAbandonedPutDrainsLeases: a PUT whose body dies mid-stream is
+// abandoned by the gateway; the abandon path must release the writer's
+// lease (no lease survives the failed upload) and reclaim the chunks
+// the writer had already flushed, so sweeps converge to zero without
+// waiting out any TTL.
+func TestAbandonedPutDrainsLeases(t *testing.T) {
+	cluster, err := core.NewCluster(core.Options{
+		Providers: 2, Monitoring: false, GCGraceEpochs: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(cluster, WithChunkSize(256))
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+
+	do(t, http.MethodPut, srv.URL+"/b", nil)
+
+	// Several chunks flush before the body fails; the transport error
+	// surfaces client-side, the gateway abandons server-side.
+	body := &failAfterReader{n: 4 << 10, err: errors.New("client died")}
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/b/k", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = 64 << 10
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("truncated PUT reported success")
+		}
+	}
+
+	// Abandon released the lease synchronously with the handler; the
+	// handler may still be finishing when Do returns, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for cluster.GC.Stats().ActiveLeases != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned PUT left %d leases registered", cluster.GC.Stats().ActiveLeases)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Nothing published, nothing leased: sweeps reclaim every flushed
+	// chunk without any TTL wait.
+	ctx := context.Background()
+	for time.Now().Before(deadline) {
+		if _, err := cluster.GC.Sweep(ctx, false); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, id := range cluster.Providers() {
+			if p, ok := cluster.Provider(id); ok {
+				total += p.Stats().Chunks
+			}
+		}
+		if total == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("abandoned PUT's chunks were never reclaimed")
+}

@@ -85,6 +85,7 @@ type blobState struct {
 	ends      map[uint64]int64 // assigned version -> end offset of its write
 	queued    map[uint64]pendingPub
 	versions  map[uint64]VersionMeta
+	holds     map[uint64]int // version -> writer-lease hold count
 	retention Retention
 	deleted   bool
 }
@@ -506,6 +507,18 @@ func (m *Manager) RetireVersions(blob uint64, vers []uint64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// A version held by a live writer lease (HoldVersion) is silently
+	// skipped, not an error: retention keeps running and retires it on a
+	// later pass once the writer finishes its partial-slot merges.
+	if len(st.holds) > 0 {
+		kept := vers[:0:0]
+		for _, v := range vers {
+			if st.holds[v] == 0 {
+				kept = append(kept, v)
+			}
+		}
+		vers = kept
+	}
 	// Validate the whole batch first so a bad entry retires nothing.
 	for _, v := range vers {
 		if v == st.applied {
@@ -525,6 +538,46 @@ func (m *Manager) RetireVersions(blob uint64, vers []uint64) (int, error) {
 		})
 	}
 	return len(vers), nil
+}
+
+// HoldVersion pins one published version against retirement on behalf
+// of a writer lease: RetireVersions silently skips held versions until
+// the matching ReleaseVersion, so a BlobWriter's partial-slot merges
+// can keep reading their base version's metadata mid-stream. Holds
+// nest (one count per open lease). Holding an unknown version fails
+// with ErrBadVersion.
+func (m *Manager) HoldVersion(blob, version uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.state(blob)
+	if err != nil {
+		return err
+	}
+	if _, ok := st.versions[version]; !ok {
+		return fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	if st.holds == nil {
+		st.holds = make(map[uint64]int)
+	}
+	st.holds[version]++
+	return nil
+}
+
+// ReleaseVersion drops one HoldVersion count. It is tolerant of
+// deleted blobs and unknown versions (the blob may have been deleted
+// while the writer streamed; release must still succeed).
+func (m *Manager) ReleaseVersion(blob, version uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.blobs[blob]
+	if !ok || st.holds == nil {
+		return
+	}
+	if st.holds[version] > 1 {
+		st.holds[version]--
+	} else {
+		delete(st.holds, version)
+	}
 }
 
 // VersionSlots lists one published version's per-slot chunk descriptors

@@ -496,3 +496,57 @@ func TestDeletedBlobsAndForget(t *testing.T) {
 		t.Fatalf("second forget: %v", err)
 	}
 }
+
+// TestHoldVersionBlocksRetire: a held version is atomically protected
+// from retirement — RetireVersions skips it while any hold is
+// outstanding and retires it once the last hold drains; holding a
+// version that was already retired (or never existed) fails.
+func TestHoldVersionBlocksRetire(t *testing.T) {
+	m := New(blobmeta.NewMemStore("m1", nil, nil), WithSpan(1024))
+	info, _ := m.Create("a", 64, false)
+	for i := 0; i < 3; i++ {
+		tk, _ := m.AssignWrite(info.ID, "a", 0, 64)
+		if err := m.Publish(info.ID, tk.Version, "a",
+			map[int64]chunk.Desc{0: desc(fmt.Sprintf("h%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two holds stack on v1.
+	if err := m.HoldVersion(info.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.HoldVersion(info.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The batch retires only the unheld version; the held one is
+	// silently skipped, not an error (retention retries it later).
+	retired, err := m.RetireVersions(info.ID, []uint64{1, 2})
+	if err != nil || retired != 1 {
+		t.Fatalf("retire with hold = %d, %v, want 1 (v2 only)", retired, err)
+	}
+	if _, err := m.Version(info.ID, 1); err != nil {
+		t.Fatalf("held version gone after retire batch: %v", err)
+	}
+
+	// One release is not enough; the second drains the hold.
+	m.ReleaseVersion(info.ID, 1)
+	if retired, _ := m.RetireVersions(info.ID, []uint64{1}); retired != 0 {
+		t.Fatalf("retired %d versions with a hold still outstanding", retired)
+	}
+	m.ReleaseVersion(info.ID, 1)
+	retired, err = m.RetireVersions(info.ID, []uint64{1})
+	if err != nil || retired != 1 {
+		t.Fatalf("retire after drain = %d, %v, want 1", retired, err)
+	}
+
+	// Hold-vs-retire atomicity from the loser's side: the version is
+	// gone, so the hold must fail rather than register uselessly.
+	if err := m.HoldVersion(info.ID, 1); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("hold of retired version: %v", err)
+	}
+	// Releasing versions of unknown blobs is a tolerated no-op (the
+	// blob may have been deleted under the writer).
+	m.ReleaseVersion(999, 1)
+}
