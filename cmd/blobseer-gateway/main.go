@@ -29,6 +29,7 @@ import (
 
 	"blobseer/internal/core"
 	"blobseer/internal/diskstore"
+	"blobseer/internal/faultdom"
 	"blobseer/internal/metrics"
 	"blobseer/internal/provider"
 	"blobseer/internal/s3gate"
@@ -46,6 +47,7 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "base segment directory for -store=disk/tiered (one subdir per provider)")
 		hotBytes  = flag.Int64("hot-bytes", 256<<20, "per-provider hot-tier cache bound for -store=tiered")
 		gcEvery   = flag.Duration("gc", 0, "background GC pass interval (0 = disabled)")
+		callTO    = flag.Duration("call-timeout", 2*time.Second, "per-attempt provider call deadline (0 = fault plane off)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,12 @@ func main() {
 		Replicas:   *replicas,
 		Monitoring: true,
 		Metrics:    reg,
+	}
+	if *callTO > 0 {
+		// The fault-tolerance plane: per-attempt deadlines, retries with
+		// jittered backoff, per-provider circuit breakers and failure
+		// detection (see README "Fault tolerance" for the knobs).
+		opts.Fault = &faultdom.Config{CallTimeout: *callTO}
 	}
 	switch *store {
 	case "mem":

@@ -8,6 +8,10 @@
 //   - any function or method of net, net/rpc or net/http (minus a
 //     short list of pure helpers like net.JoinHostPort);
 //   - time.Sleep or (*sync.WaitGroup).Wait;
+//   - the module's own retry/backoff helpers — faultdom.Sleep and
+//     RetryPolicy.Do/DoNotify — whose jittered attempt delays stack up
+//     to seconds, so a retry loop under a held mutex is the same
+//     hazard as a dial under one;
 //   - os.File reads, writes, syncs and opens — disk I/O stalls just
 //     like the network under load (a full page cache, a congested
 //     device, NFS), so file I/O under a mutex is the same hazard;
@@ -47,8 +51,13 @@ var blockingPkgs = map[string]bool{
 }
 
 // pureHelpers are the exceptions: functions in blocking packages that
-// do no I/O.
+// do no I/O. The deadline setters qualify — they arm a netpoller timer
+// without touching the wire, and the rpc plane calls them under the
+// conn mutex by design.
 var pureHelpers = map[string]bool{
+	"(net.Conn).SetDeadline":      true,
+	"(net.Conn).SetReadDeadline":  true,
+	"(net.Conn).SetWriteDeadline": true,
 	"net.JoinHostPort":            true,
 	"net.SplitHostPort":           true,
 	"net.ParseIP":                 true,
@@ -88,6 +97,18 @@ var fileIO = map[string]bool{
 	"os.RemoveAll":           true,
 	"os.Rename":              true,
 	"os.Truncate":            true,
+}
+
+// moduleBlocking are this repository's own functions that block by
+// design and must be treated as direct blocking calls even when the
+// body alone would not reveal it (faultdom.Sleep parks on a timer via
+// select, which is not a call expression). A retry loop spins through
+// attempt delays that stack up to seconds — holding a mutex across one
+// is the same hazard as holding it across a dial.
+var moduleBlocking = map[string]string{
+	"blobseer/internal/faultdom.Sleep":                  "sleeps for the backoff delay",
+	"(blobseer/internal/faultdom.RetryPolicy).Do":       "sleeps between retry attempts (jittered backoff)",
+	"(blobseer/internal/faultdom.RetryPolicy).DoNotify": "sleeps between retry attempts (jittered backoff)",
 }
 
 func isContext(t types.Type) bool {
@@ -145,6 +166,9 @@ func DirectReason(info *types.Info, call *ast.CallExpr) string {
 	}
 	if fileIO[full] {
 		return fmt.Sprintf("calls %s (file I/O may stall on the device)", full)
+	}
+	if reason := moduleBlocking[full]; reason != "" {
+		return fmt.Sprintf("calls %s (%s)", full, reason)
 	}
 	sig, _ := fn.Type().(*types.Signature)
 	if sig != nil && sig.Recv() != nil {

@@ -1,0 +1,40 @@
+// Fixture mirror of the real internal/faultdom retry surface. Only the
+// names matter: blockfacts keys its moduleBlocking facts by
+// types.Func.FullName, so these declarations make the fixture loader
+// resolve "blobseer/internal/faultdom".Sleep and RetryPolicy.Do to the
+// same full names the production package has. The bodies are inert —
+// the point is that blockfacts flags them WITHOUT seeing a blocking
+// call inside (the real Sleep parks on a timer via select, invisible
+// to the call-based scan).
+package faultdom
+
+import (
+	"context"
+	"time"
+)
+
+// Sleep mirrors faultdom.Sleep: a context-aware backoff sleep.
+func Sleep(ctx context.Context, d time.Duration) error {
+	_ = d
+	return ctx.Err()
+}
+
+// RetryPolicy mirrors the production retry policy's method set.
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseDelay   time.Duration
+}
+
+// Do mirrors (RetryPolicy).Do. The op is deliberately never invoked:
+// the diagnosis in the lockio fixture must come from the moduleBlocking
+// fact alone, not from propagation through a ctx-first dynamic call.
+func (p RetryPolicy) Do(ctx context.Context, op func(context.Context) error) error {
+	_ = op
+	return ctx.Err()
+}
+
+// DoNotify mirrors (RetryPolicy).DoNotify.
+func (p RetryPolicy) DoNotify(ctx context.Context, notify func(attempt int, err error), op func(context.Context) error) error {
+	_, _ = notify, op
+	return ctx.Err()
+}

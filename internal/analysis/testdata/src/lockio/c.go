@@ -1,0 +1,68 @@
+// The retry half of the lockio fixture: the faultdom backoff helpers
+// sleep between attempts, so a retry loop inside a critical section
+// pins the mutex for the whole (jittered, possibly seconds-long)
+// backoff schedule. blockfacts knows the helpers by name — the bodies
+// in the fixture faultdom package are inert, proving the moduleBlocking
+// fact, not call-graph propagation, drives the diagnosis.
+package lockio
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"blobseer/internal/faultdom"
+)
+
+type Registry struct {
+	mu    sync.Mutex
+	seen  map[string]bool
+	retry faultdom.RetryPolicy
+}
+
+// Register is the regression shape: a full retry loop (backoff sleeps
+// included) runs under the registry mutex.
+func (r *Registry) Register(ctx context.Context, id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.retry.Do(ctx, func(context.Context) error { // want `blocking I/O while holding r\.mu .*: calls \(blobseer/internal/faultdom\.RetryPolicy\)\.Do \(sleeps between retry attempts`
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	r.seen[id] = true
+	return nil
+}
+
+// Pace holds the lock across a single backoff sleep — just as banned.
+func (r *Registry) Pace(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return faultdom.Sleep(ctx, time.Millisecond) // want `blocking I/O while holding r\.mu .*: calls blobseer/internal/faultdom\.Sleep \(sleeps for the backoff delay\)`
+}
+
+// backoff gives the fixture a transitively-sleeping module helper.
+func (r *Registry) backoff(ctx context.Context) error {
+	return faultdom.Sleep(ctx, time.Millisecond)
+}
+
+// Throttle blocks through the helper — the transitive fact must carry
+// the backoff reason chain.
+func (r *Registry) Throttle(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.backoff(ctx) // want `blocking I/O while holding r\.mu .*: calls \(\*lockio\.Registry\)\.backoff, which may block`
+}
+
+// Good snapshots under the lock and retries outside it: the pattern
+// the production code uses.
+func (r *Registry) Good(ctx context.Context, id string) error {
+	r.mu.Lock()
+	done := r.seen[id]
+	r.mu.Unlock()
+	if done {
+		return nil
+	}
+	return r.retry.Do(ctx, func(context.Context) error { return nil })
+}

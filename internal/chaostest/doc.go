@@ -1,0 +1,10 @@
+// Package chaostest holds the end-to-end fault-injection suite for the
+// fault-tolerance plane (internal/faultdom): partitions, flaky links,
+// blackholed providers and crash-restarts are injected mid-workload
+// through the core.Options.WrapConn / ProviderStore seams, and the
+// tests assert graceful degradation (reads served by survivors within
+// the configured call deadline, writes re-routed to healthy providers,
+// quorum failures surfaced as retryable errors) followed by full
+// convergence — zero chunks, metadata nodes and leases — once the
+// faults clear. The suite is test-only; run it with -race.
+package chaostest

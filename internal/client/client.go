@@ -143,9 +143,10 @@ type Client struct {
 	now      func() time.Time
 	replicas int
 	workers  int
-	prefetch int  // chunks a BlobReader keeps in flight (window)
-	quorum   int  // successful replica stores required per chunk (0 = all)
-	hedged   bool // fetch all replicas concurrently, first success wins
+	prefetch int                          // chunks a BlobReader keeps in flight (window)
+	quorum   int                          // successful replica stores required per chunk (0 = all)
+	hedged   bool                         // fetch all replicas concurrently, first success wins
+	healthy  func(providerID string) bool // nil = all replicas equal
 
 	// bufs recycles chunk-sized buffers across the streaming paths:
 	// BlobWriter slot buffers and partial-slot merge scratch draw from
@@ -265,6 +266,15 @@ func WithWriteQuorum(n int) Option {
 // serial failover. Hedging trades provider load for tail latency.
 func WithHedgedReads(on bool) Option {
 	return func(c *Client) { c.hedged = on }
+}
+
+// WithHealth attaches an external health verdict (the fault-tolerance
+// plane's breaker + failure detector). Reads try healthy replicas
+// first: serial failover reorders its attempts, hedged races run over
+// the healthy subset only — falling back to the full replica set when
+// no replica is healthy, so degraded data is still better than none.
+func WithHealth(healthy func(providerID string) bool) Option {
+	return func(c *Client) { c.healthy = healthy }
 }
 
 // New returns a client for user backed by the given actors.
@@ -661,7 +671,7 @@ func (c *Client) fetchReplica(ctx context.Context, d chunk.Desc) ([]byte, error)
 	}
 	var buf []byte // pooled; reused across failover attempts
 	var lastErr error
-	for _, pid := range d.Providers {
+	for _, pid := range c.orderByHealth(d.Providers) {
 		if err := ctx.Err(); err != nil {
 			c.putBuf(buf)
 			if c.m != nil {
@@ -707,6 +717,57 @@ func (c *Client) fetchReplica(ctx context.Context, d chunk.Desc) ([]byte, error)
 	return nil, fmt.Errorf("%w: chunk %s: %v", ErrUnavailable, d.ID.Short(), lastErr)
 }
 
+// orderByHealth returns pids with the health-vetoed providers moved to
+// the back (stable within each class), so failover tries likely-alive
+// replicas before burning its deadline on suspect ones. With no health
+// verdict attached — or nothing vetoed — pids is returned as-is.
+func (c *Client) orderByHealth(pids []string) []string {
+	if c.healthy == nil {
+		return pids
+	}
+	allHealthy := true
+	for _, pid := range pids {
+		if !c.healthy(pid) {
+			allHealthy = false
+			break
+		}
+	}
+	if allHealthy {
+		return pids
+	}
+	out := make([]string, 0, len(pids))
+	for _, pid := range pids {
+		if c.healthy(pid) {
+			out = append(out, pid)
+		}
+	}
+	for _, pid := range pids {
+		if !c.healthy(pid) {
+			out = append(out, pid)
+		}
+	}
+	return out
+}
+
+// hedgedSet returns the replicas a hedged race should fan out to: the
+// healthy subset, or every replica when none is healthy (degraded data
+// beats no data).
+func (c *Client) hedgedSet(pids []string) []string {
+	if c.healthy == nil {
+		return pids
+	}
+	out := make([]string, 0, len(pids))
+	for _, pid := range pids {
+		if c.healthy(pid) {
+			out = append(out, pid)
+		}
+	}
+	if len(out) == 0 {
+		return pids
+	}
+	return out
+}
+
 // observeFetch records one successful serial fetch, classified by
 // whether an earlier replica had already failed (failover) or the first
 // one answered (serial).
@@ -733,14 +794,15 @@ func (c *Client) fetchHedged(ctx context.Context, d chunk.Desc) ([]byte, error) 
 	}
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	racers := c.hedgedSet(d.Providers)
 	type result struct {
 		data []byte
 		err  error
 	}
 	// Buffered so cancelled losers can always deposit their result and
 	// exit without a receiver.
-	ch := make(chan result, len(d.Providers))
-	for _, pid := range d.Providers {
+	ch := make(chan result, len(racers))
+	for _, pid := range racers {
 		go func(pid string) {
 			conn, err := c.dir.Lookup(hctx, pid)
 			if err != nil {
@@ -755,8 +817,8 @@ func (c *Client) fetchHedged(ctx context.Context, d chunk.Desc) ([]byte, error) 
 			ch <- result{data: data}
 		}(pid)
 	}
-	errs := make([]error, 0, len(d.Providers))
-	for range d.Providers {
+	errs := make([]error, 0, len(racers))
+	for range racers {
 		select {
 		case <-ctx.Done():
 			if c.m != nil {

@@ -20,6 +20,7 @@ import (
 	"blobseer/internal/blobmeta"
 	"blobseer/internal/chunk"
 	"blobseer/internal/client"
+	"blobseer/internal/faultdom"
 	"blobseer/internal/gc"
 	"blobseer/internal/history"
 	"blobseer/internal/instrument"
@@ -70,6 +71,18 @@ type Options struct {
 	// gateway built over the cluster — records its data-path series there;
 	// nil leaves the whole deployment uninstrumented (no overhead).
 	Metrics *metrics.Registry
+	// Fault enables the fault-tolerance plane (internal/faultdom): every
+	// client↔provider conversation gets per-attempt deadlines, retries
+	// with jittered backoff, a per-provider circuit breaker, and its
+	// outcome fed to a failure detector that steers placement, read
+	// ordering and self-optimization heals. nil disables the plane
+	// entirely (calls go to providers unguarded, as before).
+	Fault *faultdom.Config
+	// WrapConn, when set, wraps every provider conn Lookup resolves —
+	// inside the fault guard, so injected faults are seen (and retried,
+	// counted, broken on) by the plane. It is the chaos-test seam for
+	// the storetest conn wrappers (flaky, slow, partitioned).
+	WrapConn func(id string, conn client.Conn) client.Conn
 }
 
 // Cluster is a fully wired in-process deployment.
@@ -89,6 +102,7 @@ type Cluster struct {
 	Rep   *selfopt.Replicator
 	Elast *selfconfig.Controller
 	GC    *gc.Manager
+	Fault *faultdom.Plane // nil unless Options.Fault is set
 
 	mu        sync.Mutex
 	providers map[string]*provider.Provider
@@ -158,14 +172,29 @@ func NewCluster(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 
+	// Fault-tolerance plane (optional). Built before the provider
+	// manager so placement can consult its health verdicts.
+	if opts.Fault != nil {
+		fcfg := *opts.Fault
+		if fcfg.Clock == nil {
+			fcfg.Clock = opts.Clock
+		}
+		c.Fault = faultdom.NewPlane(fcfg, opts.Metrics)
+	}
+
 	// Version and provider managers.
 	c.VM = vmanager.New(ring,
 		vmanager.WithEmitter(c.agentFor("vmanager")),
 		vmanager.WithClock(c.now))
-	c.PM = pmanager.New(
+	pmOpts := []pmanager.Option{
 		pmanager.WithEmitter(c.agentFor("pmanager")),
 		pmanager.WithClock(c.now),
-		pmanager.WithTTL(0))
+		pmanager.WithTTL(0),
+	}
+	if c.Fault != nil {
+		pmOpts = append(pmOpts, pmanager.WithHealth(c.Fault.Healthy))
+	}
+	c.PM = pmanager.New(pmOpts...)
 
 	// Security framework.
 	c.Trust = trust.New(trust.WithClock(c.now))
@@ -246,6 +275,9 @@ func (c *Cluster) AddProvider() (string, error) {
 	p := provider.New(id, zone, c.opts.ProviderCapacity, popts...)
 	c.providers[id] = p
 	c.mu.Unlock()
+	if c.Fault != nil {
+		c.Fault.Track(id)
+	}
 	if err := c.PM.Register(pmanager.Info{ID: id, Zone: zone, Capacity: c.opts.ProviderCapacity}); err != nil {
 		return "", err
 	}
@@ -262,6 +294,9 @@ func (c *Cluster) RemoveProvider(id string) error {
 		return fmt.Errorf("core: no provider %s", id)
 	}
 	p.Stop()
+	if c.Fault != nil {
+		c.Fault.Forget(id)
+	}
 	return c.PM.Unregister(id)
 }
 
@@ -287,18 +322,42 @@ func (c *Cluster) Provider(id string) (*provider.Provider, bool) {
 	return p, ok
 }
 
-// Lookup implements client.Directory.
+// rawConn resolves a provider to its unguarded conn: the in-process
+// provider, wrapped by the WrapConn fault-injection seam when set.
+func (c *Cluster) rawConn(id string) (client.Conn, error) {
+	c.mu.Lock()
+	p, ok := c.providers[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no provider %s", id)
+	}
+	var conn client.Conn = p
+	if c.opts.WrapConn != nil {
+		conn = c.opts.WrapConn(id, conn)
+	}
+	return conn, nil
+}
+
+// Lookup implements client.Directory. With the fault plane enabled, an
+// open-circuited provider fails fast here — before any wire work — so
+// reads fail over and writes re-route immediately, and the returned
+// conn carries the full guard (per-attempt deadlines, retries, breaker
+// and detector observation).
 func (c *Cluster) Lookup(ctx context.Context, id string) (client.Conn, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	p, ok := c.providers[id]
-	if !ok {
-		return nil, fmt.Errorf("core: no provider %s", id)
+	conn, err := c.rawConn(id)
+	if err != nil {
+		return nil, err
 	}
-	return p, nil
+	if c.Fault != nil {
+		if err := c.Fault.FastFail(id); err != nil {
+			return nil, err
+		}
+		conn = c.Fault.Wrap(id, conn)
+	}
+	return conn, nil
 }
 
 // Metrics returns the cluster's metrics registry (nil when the
@@ -336,6 +395,9 @@ func (c *Cluster) ClientWith(user string, extra ...client.Option) *client.Client
 			opts = append(opts, client.WithLeaseTTL(c.opts.WriterLeaseTTL))
 		}
 	}
+	if c.Fault != nil {
+		opts = append(opts, client.WithHealth(c.Fault.Healthy))
+	}
 	return client.New(user, c.VM, c.PM, c, append(opts, extra...)...)
 }
 
@@ -366,6 +428,30 @@ func (c *Cluster) Tick(now time.Time) {
 	c.Eng.Evaluate(now)
 	if c.Elast != nil {
 		c.Elast.Tick(now, c.Intro.MeanLoad())
+	}
+	if c.Fault != nil {
+		// Active failure detection: ping every live provider through its
+		// raw (unguarded, fault-injected) conn, in parallel so one
+		// blackholed provider costs the tick a single CallTimeout, not
+		// one per victim. Detector verdicts that crossed to Dead since
+		// the last tick then trigger a replication heal around the body.
+		var wg sync.WaitGroup
+		for _, p := range provs {
+			id := p.ID()
+			conn, err := c.rawConn(id)
+			if err != nil {
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = c.Fault.Ping(context.Background(), id, conn) //ctxfirst:allow control-plane tick has no caller context; Ping bounds itself with CallTimeout
+			}()
+		}
+		wg.Wait()
+		if dead := c.Fault.DrainDead(); len(dead) > 0 {
+			_, _ = c.Rep.Scan(now)
+		}
 	}
 }
 
@@ -409,7 +495,12 @@ func (a poolAdapter) Remove(ctx context.Context, id string, ch chunk.ID) error {
 
 func (a poolAdapter) Alive(id string) bool {
 	p, ok := a.c.Provider(id)
-	return ok && !p.Stopped()
+	if !ok || p.Stopped() {
+		return false
+	}
+	// The heal must not copy replicas onto a dead or open-circuited
+	// provider — that only manufactures more degraded replicas.
+	return a.c.Fault == nil || a.c.Fault.Healthy(id)
 }
 
 // Pool exposes the cluster's providers as a selfopt.Pool (for reapers).

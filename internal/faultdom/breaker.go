@@ -1,0 +1,239 @@
+package faultdom
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// Closed admits every call (the healthy steady state).
+	Closed State = iota
+	// HalfOpen admits exactly one probe call; its outcome decides
+	// between Closed and Open.
+	HalfOpen
+	// Open rejects every call until the cooldown elapses.
+	Open
+)
+
+// String returns the Prometheus-facing label value.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half_open"
+	default:
+		return "open"
+	}
+}
+
+// BreakerOpenError is returned without touching the provider when its
+// circuit is open: the caller should fail over to another replica (the
+// s3 gateway maps it to a retryable 503).
+type BreakerOpenError struct {
+	Provider string
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("faultdom: circuit open for provider %s", e.Provider)
+}
+
+// IsBreakerOpen reports whether err is (or wraps) a breaker rejection.
+func IsBreakerOpen(err error) bool {
+	var be *BreakerOpenError
+	return errors.As(err, &be)
+}
+
+// Breaker is one provider's circuit: Closed → Open after `threshold`
+// consecutive transient failures, Open → HalfOpen once the cooldown
+// elapses, HalfOpen → Closed on a successful probe (→ Open again on a
+// failed one). Successes and application-level (permanent) errors both
+// count as contact: a provider answering "not found" is alive.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	// onTransition, if set, observes every state change. It is invoked
+	// under the breaker mutex and must not block.
+	onTransition func(from, to State)
+
+	mu       sync.Mutex
+	state    State
+	fails    int // consecutive transient failures
+	openedAt time.Time
+	probing  bool // half-open: the single probe slot is taken
+}
+
+// NewBreaker returns a closed breaker tripping after threshold
+// consecutive transient failures and re-probing after cooldown.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+func (b *Breaker) setLocked(to State) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// Allow reports whether a call may proceed. In HalfOpen it hands out
+// the single probe slot; the caller must report the outcome through
+// Observe (success, failure or permanent error all release the slot).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.setLocked(HalfOpen)
+		b.probing = true
+		return true
+	default: // HalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Observe records a call outcome. Only transient-class errors count as
+// failures; nil and permanent errors prove the provider reachable.
+func (b *Breaker) Observe(err error) {
+	ok := err == nil || Classify(err) == Permanent
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
+		b.probing = false
+	}
+	if ok {
+		b.fails = 0
+		b.setLocked(Closed)
+		return
+	}
+	b.fails++
+	switch b.state {
+	case HalfOpen:
+		b.openedAt = b.now()
+		b.setLocked(Open)
+	case Closed:
+		if b.fails >= b.threshold {
+			b.openedAt = b.now()
+			b.setLocked(Open)
+		}
+	}
+}
+
+// State returns the breaker's current position. An elapsed cooldown is
+// not applied here — Open reads Open until a caller probes via Allow.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Rejecting reports whether a call right now would be rejected without
+// consuming the half-open probe slot: true only while Open with an
+// unelapsed cooldown, or while a probe is already in flight.
+func (b *Breaker) Rejecting() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Open:
+		return b.now().Sub(b.openedAt) < b.cooldown
+	case HalfOpen:
+		return b.probing
+	default:
+		return false
+	}
+}
+
+// BreakerSet keys breakers by provider ID, creating them on first use
+// with shared thresholds.
+type BreakerSet struct {
+	threshold    int
+	cooldown     time.Duration
+	now          func() time.Time
+	onTransition func(id string, from, to State)
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewBreakerSet returns an empty set minting breakers with the given
+// shared configuration. onTransition (nil ok) observes every breaker's
+// state changes, keyed by provider.
+func NewBreakerSet(threshold int, cooldown time.Duration, now func() time.Time, onTransition func(id string, from, to State)) *BreakerSet {
+	return &BreakerSet{
+		threshold: threshold, cooldown: cooldown, now: now,
+		onTransition: onTransition,
+		m:            make(map[string]*Breaker),
+	}
+}
+
+// For returns the provider's breaker, creating it closed on first use.
+func (s *BreakerSet) For(id string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[id]
+	if !ok {
+		b = NewBreaker(s.threshold, s.cooldown, s.now)
+		if s.onTransition != nil {
+			fn := s.onTransition
+			b.onTransition = func(from, to State) { fn(id, from, to) }
+		}
+		s.m[id] = b
+	}
+	return b
+}
+
+// State returns the provider's breaker state (Closed when untracked).
+func (s *BreakerSet) State(id string) State {
+	s.mu.Lock()
+	b, ok := s.m[id]
+	s.mu.Unlock()
+	if !ok {
+		return Closed
+	}
+	return b.State()
+}
+
+// Rejecting reports whether the provider's breaker would reject a call
+// right now (false when untracked).
+func (s *BreakerSet) Rejecting(id string) bool {
+	s.mu.Lock()
+	b, ok := s.m[id]
+	s.mu.Unlock()
+	return ok && b.Rejecting()
+}
+
+// Forget drops a provider's breaker (decommissioned providers).
+func (s *BreakerSet) Forget(id string) {
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}

@@ -1,0 +1,126 @@
+package faultdom
+
+import "sync"
+
+// Health is the failure detector's verdict on one provider.
+type Health int
+
+const (
+	// Alive: the last contact succeeded (or answered with an
+	// application error, which proves reachability just as well).
+	Alive Health = iota
+	// Suspect: enough consecutive transient failures to deprioritize
+	// the provider (reads order it last) but not to write it off.
+	Suspect
+	// Dead: the failure streak crossed the dead threshold. Placement
+	// stops allocating to it and self-optimization heals around it.
+	Dead
+)
+
+// String returns the Prometheus-facing label value.
+func (h Health) String() string {
+	switch h {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// Detector is a consecutive-failure detector fed by passive
+// observation of call outcomes plus periodic lightweight pings (the
+// control-plane tick probes idle providers so a dead one is noticed
+// without waiting for a client to trip over it). Counting consecutive
+// failures instead of elapsed time keeps verdicts deterministic under
+// test clocks and immune to idle gaps: a provider nobody talks to stays
+// Alive until contact actually fails.
+type Detector struct {
+	suspectAfter int // consecutive transient failures → Suspect
+	deadAfter    int // consecutive transient failures → Dead
+
+	// onTransition, if set, observes every verdict change. Invoked
+	// under the detector mutex; must not block.
+	onTransition func(id string, from, to Health)
+
+	mu    sync.Mutex
+	fails map[string]int
+	state map[string]Health
+}
+
+// NewDetector returns a detector declaring Suspect after suspectAfter
+// and Dead after deadAfter consecutive transient failures (defaults 3
+// and 6).
+func NewDetector(suspectAfter, deadAfter int, onTransition func(id string, from, to Health)) *Detector {
+	if suspectAfter <= 0 {
+		suspectAfter = 3
+	}
+	if deadAfter <= suspectAfter {
+		deadAfter = 2 * suspectAfter
+	}
+	return &Detector{
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		onTransition: onTransition,
+		fails:        make(map[string]int),
+		state:        make(map[string]Health),
+	}
+}
+
+// Observe records one call outcome against the provider. Permanent
+// (application) errors count as successful contact.
+func (d *Detector) Observe(id string, err error) {
+	if err == nil || Classify(err) == Permanent {
+		d.ObserveSuccess(id)
+	} else {
+		d.ObserveFailure(id)
+	}
+}
+
+// ObserveSuccess resets the provider's failure streak.
+func (d *Detector) ObserveSuccess(id string) {
+	d.mu.Lock()
+	d.fails[id] = 0
+	d.setLocked(id, Alive)
+	d.mu.Unlock()
+}
+
+// ObserveFailure extends the provider's failure streak.
+func (d *Detector) ObserveFailure(id string) {
+	d.mu.Lock()
+	d.fails[id]++
+	switch n := d.fails[id]; {
+	case n >= d.deadAfter:
+		d.setLocked(id, Dead)
+	case n >= d.suspectAfter:
+		d.setLocked(id, Suspect)
+	}
+	d.mu.Unlock()
+}
+
+func (d *Detector) setLocked(id string, to Health) {
+	from := d.state[id]
+	if from == to {
+		return
+	}
+	d.state[id] = to
+	if d.onTransition != nil {
+		d.onTransition(id, from, to)
+	}
+}
+
+// State returns the provider's verdict (Alive when untracked).
+func (d *Detector) State(id string) Health {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state[id]
+}
+
+// Forget drops a provider's tracking state (decommissioning).
+func (d *Detector) Forget(id string) {
+	d.mu.Lock()
+	delete(d.fails, id)
+	delete(d.state, id)
+	d.mu.Unlock()
+}

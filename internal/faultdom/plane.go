@@ -1,0 +1,211 @@
+package faultdom
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"blobseer/internal/chunk"
+	"blobseer/internal/client"
+	"blobseer/internal/metrics"
+)
+
+// Config sets the knobs of a fault-tolerance Plane. The zero value is
+// usable; every field has a production default.
+type Config struct {
+	// CallTimeout bounds each individual attempt against a provider
+	// (default 2s). The caller's context still bounds the whole
+	// operation; this keeps one hung provider from eating that budget.
+	CallTimeout time.Duration
+
+	// Retry drives in-place retries of transient failures before the
+	// caller falls over to another replica.
+	Retry RetryPolicy
+
+	// BreakerThreshold consecutive transient failures open a provider's
+	// circuit (default 5); BreakerCooldown later a single probe is let
+	// through (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// SuspectAfter / DeadAfter consecutive transient failures move the
+	// failure detector's verdict (defaults 3 and 6). Dead providers are
+	// excluded from placement and handed to self-optimization to heal.
+	SuspectAfter int
+	DeadAfter    int
+
+	// Clock supplies time for breaker cooldowns (default time.Now).
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// planeMetrics is the Plane's slice of the PR 8 registry. All families
+// are resolved eagerly so they appear in /metrics (and the CI smoke
+// greps) before the first fault.
+type planeMetrics struct {
+	retries      *metrics.CounterVec // blobseer_rpc_retries_total{op}
+	breakerState *metrics.GaugeVec   // blobseer_breaker_state{provider}
+	breakerTrans *metrics.CounterVec // blobseer_breaker_transitions_total{to}
+	healthTrans  *metrics.CounterVec // blobseer_health_transitions_total{to}
+}
+
+func newPlaneMetrics(reg *metrics.Registry) *planeMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &planeMetrics{
+		retries: reg.Counter("blobseer_rpc_retries_total",
+			"Data-path calls re-attempted after a transient failure, by operation.", "op"),
+		breakerState: reg.Gauge("blobseer_breaker_state",
+			"Per-provider circuit breaker position (0 closed, 1 half-open, 2 open).", "provider"),
+		breakerTrans: reg.Counter("blobseer_breaker_transitions_total",
+			"Circuit breaker state changes, by destination state.", "to"),
+		healthTrans: reg.Counter("blobseer_health_transitions_total",
+			"Failure detector verdict changes, by destination verdict.", "to"),
+	}
+	for _, op := range []string{"store", "fetch", "lease", "release", "lookup", "ping"} {
+		m.retries.With(op)
+	}
+	for _, s := range []State{Closed, HalfOpen, Open} {
+		m.breakerTrans.With(s.String())
+	}
+	for _, h := range []Health{Alive, Suspect, Dead} {
+		m.healthTrans.With(h.String())
+	}
+	return m
+}
+
+func (m *planeMetrics) retry(op string) {
+	if m != nil {
+		m.retries.With(op).Inc()
+	}
+}
+
+// Plane assembles the fault-tolerance pieces around a provider fleet:
+// a breaker per provider, a shared failure detector, a retry policy,
+// and per-attempt deadlines. core.Cluster creates one and threads it
+// through placement (skip unhealthy), the read path (order healthy
+// first), the lookup path (guard every conn) and the control-plane
+// tick (active pings + heal triggers).
+type Plane struct {
+	cfg      Config
+	Breakers *BreakerSet
+	Detector *Detector
+
+	m *planeMetrics
+
+	mu   sync.Mutex
+	dead []string // detector verdicts pending a heal, drained by Tick
+}
+
+// NewPlane builds a Plane from cfg, registering its metric families on
+// reg (nil disables metrics).
+func NewPlane(cfg Config, reg *metrics.Registry) *Plane {
+	cfg = cfg.withDefaults()
+	p := &Plane{cfg: cfg, m: newPlaneMetrics(reg)}
+	p.Breakers = NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock,
+		func(id string, from, to State) {
+			if p.m != nil {
+				p.m.breakerState.With(id).Set(float64(to))
+				p.m.breakerTrans.With(to.String()).Inc()
+			}
+		})
+	p.Detector = NewDetector(cfg.SuspectAfter, cfg.DeadAfter,
+		func(id string, from, to Health) {
+			if p.m != nil {
+				p.m.healthTrans.With(to.String()).Inc()
+			}
+			if to == Dead {
+				p.mu.Lock()
+				p.dead = append(p.dead, id)
+				p.mu.Unlock()
+			}
+		})
+	return p
+}
+
+// CallTimeout returns the per-attempt deadline the plane enforces.
+func (p *Plane) CallTimeout() time.Duration { return p.cfg.CallTimeout }
+
+// Track pre-creates the provider's breaker and resolves its gauge
+// child so the family is visible before the first call.
+func (p *Plane) Track(id string) {
+	p.Breakers.For(id)
+	if p.m != nil {
+		p.m.breakerState.With(id).Set(float64(Closed))
+	}
+}
+
+// Forget drops a decommissioned provider's breaker and detector state.
+func (p *Plane) Forget(id string) {
+	p.Breakers.Forget(id)
+	p.Detector.Forget(id)
+}
+
+// Healthy reports whether placement should offer the provider new
+// allocations and reads should try it first: circuit not rejecting and
+// detector verdict not Dead.
+func (p *Plane) Healthy(id string) bool {
+	return !p.Breakers.Rejecting(id) && p.Detector.State(id) != Dead
+}
+
+// FastFail returns a BreakerOpenError when a call to the provider
+// would be rejected without reaching the wire, nil otherwise. Lookup
+// uses it to fail over before dialing.
+func (p *Plane) FastFail(id string) error {
+	if p.Breakers.Rejecting(id) {
+		return &BreakerOpenError{Provider: id}
+	}
+	return nil
+}
+
+// Wrap guards a provider conn: every call gets breaker admission, a
+// per-attempt deadline, transient-failure retries, and its outcome fed
+// to the breaker and the failure detector.
+func (p *Plane) Wrap(id string, conn client.Conn) client.Conn {
+	return &guardedConn{p: p, id: id, inner: conn}
+}
+
+// DrainDead returns the providers the detector has declared Dead since
+// the last drain. The control plane triggers a replication heal for
+// them.
+func (p *Plane) DrainDead() []string {
+	p.mu.Lock()
+	d := p.dead
+	p.dead = nil
+	p.mu.Unlock()
+	return d
+}
+
+// Ping actively probes one provider with a single deadline-bounded
+// fetch of the zero chunk ID and feeds the outcome to the breaker and
+// detector. ErrNotFound is the expected healthy answer (an application
+// error proves reachability); only transport failures count against
+// the provider. conn must be the raw (unguarded) conn — the probe is
+// deliberately a single attempt with no retries.
+func (p *Plane) Ping(ctx context.Context, id string, conn client.Conn) error {
+	cctx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
+	defer cancel()
+	_, err := conn.Fetch(cctx, "health", chunk.ID{})
+	p.Breakers.For(id).Observe(err)
+	p.Detector.Observe(id, err)
+	if err != nil && Classify(err) == Permanent {
+		return nil
+	}
+	return err
+}

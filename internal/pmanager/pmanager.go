@@ -244,6 +244,7 @@ type Manager struct {
 	emit     instrument.Emitter
 	now      func() time.Time
 	ttl      time.Duration
+	health   func(id string) bool
 	view     map[string]Info
 }
 
@@ -280,6 +281,17 @@ func WithClock(now func() time.Time) Option {
 // WithTTL sets the heartbeat expiry (default 30 s; ≤0 disables expiry).
 func WithTTL(ttl time.Duration) Option {
 	return func(m *Manager) { m.ttl = ttl }
+}
+
+// WithHealth attaches an external health verdict (the fault-tolerance
+// plane's breaker + failure detector): providers it reports unhealthy
+// are excluded from placement as if their heartbeat had expired. When
+// excluding them would leave fewer providers than one chunk's replica
+// set needs, Allocate degrades gracefully and offers the full
+// TTL-filtered view instead — storing to a suspect provider and letting
+// the write quorum decide beats refusing the write outright.
+func WithHealth(h func(id string) bool) Option {
+	return func(m *Manager) { m.health = h }
 }
 
 // New returns an empty manager.
@@ -370,10 +382,19 @@ func (m *Manager) Alive() []Info {
 }
 
 func (m *Manager) aliveLocked() []Info {
+	return m.aliveFilteredLocked(true)
+}
+
+// aliveFilteredLocked returns the TTL-filtered view, additionally
+// dropping health-vetoed providers when useHealth is set.
+func (m *Manager) aliveFilteredLocked(useHealth bool) []Info {
 	now := m.now()
 	out := make([]Info, 0, len(m.view))
 	for _, info := range m.view {
 		if m.ttl > 0 && now.Sub(info.LastSeen) > m.ttl {
+			continue
+		}
+		if useHealth && m.health != nil && !m.health(info.ID) {
 			continue
 		}
 		out = append(out, info)
@@ -394,6 +415,12 @@ func (m *Manager) Size() (alive, total int) {
 func (m *Manager) Allocate(n, replicas int) ([][]string, error) {
 	m.mu.Lock()
 	view := m.aliveLocked()
+	if m.health != nil && len(view) < replicas {
+		// Graceful degradation: too many providers are health-vetoed to
+		// fill one replica set. Fall back to the TTL-only view — the
+		// write quorum, not placement, decides whether the write lands.
+		view = m.aliveFilteredLocked(false)
+	}
 	strat := m.strategy
 	m.mu.Unlock()
 	placement, err := strat.Allocate(n, replicas, view)

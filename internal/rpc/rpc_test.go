@@ -221,6 +221,128 @@ func TestLifecycleRPCs(t *testing.T) {
 	}
 }
 
+// stuckStore blocks Put/Get until release is closed — a blackholed
+// provider: the TCP session is up, the handler just never answers.
+type stuckStore struct {
+	provider.LifecycleStore
+	release chan struct{}
+}
+
+func (s *stuckStore) Put(id chunk.ID, data []byte) error {
+	<-s.release
+	return s.LifecycleStore.Put(id, data)
+}
+
+func (s *stuckStore) Get(id chunk.ID) ([]byte, error) {
+	<-s.release
+	return s.LifecycleStore.Get(id)
+}
+
+// TestCallDeadlineOverTCP is the deadline-enforcement regression on the
+// net/rpc plane: a call against a blackholed provider must fail within
+// its ctx deadline plus a small epsilon — enforced as a kernel deadline
+// on the wire — never the OS read timeout.
+func TestCallDeadlineOverTCP(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	st := &stuckStore{LifecycleStore: provider.NewMemStore(0), release: release}
+	p := provider.New("stuck", "z", 0, provider.WithStore(st))
+	srv, err := Serve(p, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	data := []byte("never lands")
+	id := chunk.Sum(data)
+	ctx, cancel := context.WithTimeout(bg, 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := conn.Store(ctx, "u", id, data); err == nil {
+		t.Fatal("Store against blackholed provider succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Store took %v, want ~ctx deadline (150ms)", elapsed)
+	}
+
+	// The expired wire deadline killed the conn; a fresh one with a
+	// conn-level default timeout must bound Fetch the same way even on
+	// a deadline-free context.
+	conn2, err := Dial(srv.Addr(), WithCallTimeout(150*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	start = time.Now()
+	if _, err := conn2.Fetch(bg, "u", id); err == nil {
+		t.Fatal("Fetch against blackholed provider succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Fetch took %v, want ~call timeout (150ms)", elapsed)
+	}
+}
+
+// TestDirectoryDropsBrokenConn is the stale-conn regression: when a
+// provider dies, the cached conn's calls fail, and the directory must
+// re-resolve on the next Lookup — without waiting for a Register — so a
+// provider restarted on the same address is reachable again.
+func TestDirectoryDropsBrokenConn(t *testing.T) {
+	_, srv := startProvider(t, "pR")
+	addr := srv.Addr()
+	dir := NewDirectory(map[string]string{"pR": addr})
+	defer dir.Close()
+
+	data := []byte("before the crash")
+	id := chunk.Sum(data)
+	conn, err := dir.Lookup(bg, "pR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Store(bg, "u", id, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Provider dies: the server tears down its accepted conns, so the
+	// cached client conn fails fast and evicts itself.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Store(bg, "u", id, data); err == nil {
+		t.Fatal("Store over dead conn succeeded")
+	}
+
+	// Provider restarts on the same address; no Register happens. The
+	// next Lookup must dial afresh instead of serving the dead conn.
+	p2 := provider.New("pR", "z", 0)
+	srv2, err := Serve(p2, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn2, err := dir.Lookup(bg, "pR")
+		if err == nil {
+			if err = conn2.Store(bg, "u", id, data); err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("store via re-resolved conn never succeeded: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !p2.Has(id) {
+		t.Fatal("chunk not on restarted provider")
+	}
+}
+
 // TestLeaseRPCs round-trips the writer-lease surface over TCP: chunks
 // registered under a lease survive a wholesale purge, enumeration
 // reports the lease with its IDs, renewal is an empty registration, and

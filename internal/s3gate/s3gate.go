@@ -36,7 +36,9 @@ import (
 
 	"blobseer/internal/client"
 	"blobseer/internal/core"
+	"blobseer/internal/faultdom"
 	"blobseer/internal/instrument"
+	"blobseer/internal/pmanager"
 	"blobseer/internal/policy"
 )
 
@@ -226,12 +228,23 @@ func writeErr(w http.ResponseWriter, status int, code, msg string) {
 }
 
 // writeOpErr classifies a data-path failure: security denials are the
-// caller's fault (403, non-retryable), anything else is a backend fault
-// (500, retryable).
+// caller's fault (403, non-retryable); degraded-backend failures —
+// replica quorum missed, no providers placeable, an open circuit, or
+// any transient transport fault — are 503 SlowDown, the S3 idiom for
+// "retry with backoff, the outage is temporary"; anything else is a
+// backend fault (500, retryable).
 func writeOpErr(w http.ResponseWriter, err error) {
-	if errors.Is(err, policy.ErrBlocked) || errors.Is(err, client.ErrBlocked) {
+	switch {
+	case errors.Is(err, policy.ErrBlocked) || errors.Is(err, client.ErrBlocked):
 		writeErr(w, http.StatusForbidden, "AccessDenied", err.Error())
-	} else {
+	case errors.Is(err, client.ErrNoReplica) ||
+		errors.Is(err, client.ErrUnavailable) ||
+		errors.Is(err, pmanager.ErrNoProviders) ||
+		errors.Is(err, pmanager.ErrNotEnough) ||
+		faultdom.IsBreakerOpen(err) ||
+		faultdom.Classify(err) == faultdom.Transient:
+		writeErr(w, http.StatusServiceUnavailable, "SlowDown", err.Error())
+	default:
 		writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
 	}
 }
@@ -441,7 +454,7 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket
 		if track.err != nil {
 			writeErr(w, http.StatusBadRequest, "IncompleteBody", err.Error())
 		} else {
-			writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
+			writeOpErr(w, err)
 		}
 		return
 	case n > g.maxObj:
@@ -452,7 +465,7 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request, user, bucket
 	}
 	if err := bw.Close(); err != nil {
 		abandon() // Close is idempotent: re-closing returns the same error
-		writeErr(w, http.StatusInternalServerError, "InternalError", err.Error())
+		writeOpErr(w, err)
 		return
 	}
 	etag := fmt.Sprintf("%q", base64.StdEncoding.EncodeToString(hash.Sum(nil)[:16]))

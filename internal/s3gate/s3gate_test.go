@@ -613,10 +613,11 @@ func TestAbandonedPutReclaimsFlushedChunks(t *testing.T) {
 	providersEmpty(t, cluster, "after abandoned put")
 }
 
-// TestPutBackendFailureIs500 fails every chunk flush (one of three
-// replicas down, quorum = all): the PUT must surface a retryable 500
-// InternalError, not blame the client with 400 IncompleteBody.
-func TestPutBackendFailureIs500(t *testing.T) {
+// TestPutBackendFailureIs503 fails every chunk flush (one of three
+// replicas down, quorum = all): the PUT must surface a retryable 503
+// SlowDown — the degraded-backend class — not blame the client with
+// 400 IncompleteBody.
+func TestPutBackendFailureIs503(t *testing.T) {
 	cluster, err := core.NewCluster(core.Options{Providers: 3, Replicas: 3, Monitoring: false})
 	if err != nil {
 		t.Fatal(err)
@@ -643,7 +644,7 @@ func TestPutBackendFailureIs500(t *testing.T) {
 	}
 	msg, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusInternalServerError || !strings.Contains(string(msg), "InternalError") {
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(msg), "SlowDown") {
 		t.Fatalf("backend-failed put: status=%d body=%s", resp.StatusCode, msg)
 	}
 }

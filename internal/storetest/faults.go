@@ -2,7 +2,6 @@ package storetest
 
 import (
 	"context"
-	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -13,11 +12,20 @@ import (
 	"blobseer/internal/provider"
 )
 
-// Errors the fault wrappers inject. Tests assert against them to tell
-// an injected failure from a real one.
+// faultErr is the error type of every injected fault. It classifies as
+// transient (faultdom.Transienter), so the retry/breaker/detector plane
+// treats injected faults exactly like real infrastructure failures.
+type faultErr struct{ msg string }
+
+func (e *faultErr) Error() string   { return e.msg }
+func (e *faultErr) Transient() bool { return true }
+
+// Errors the fault wrappers inject. Tests assert against them with
+// errors.Is to tell an injected failure from a real one.
 var (
-	ErrInjected    = errors.New("storetest: injected fault")
-	ErrPartitioned = errors.New("storetest: partitioned")
+	ErrInjected    error = &faultErr{msg: "storetest: injected fault"}
+	ErrPartitioned error = &faultErr{msg: "storetest: partitioned"}
+	ErrCrashed     error = &faultErr{msg: "storetest: provider crashed"}
 )
 
 // Rand is a mutex-wrapped deterministic source shared by the fault
@@ -64,6 +72,9 @@ func NewInjector(seed int64, p float64) *Injector {
 
 // SetEnabled flips fault injection on or off.
 func (i *Injector) SetEnabled(on bool) { i.off.Store(!on) }
+
+// Enabled reports whether injection is currently on.
+func (i *Injector) Enabled() bool { return !i.off.Load() }
 
 // hit reports whether this call should fail.
 func (i *Injector) hit() bool {
@@ -130,15 +141,19 @@ func (f *FlakyConn) ReleaseLease(ctx context.Context, leaseID string) error {
 
 // SlowConn wraps a client.Conn, delaying each operation by a uniform
 // jitter in [0, MaxDelay) before forwarding. The delay honours ctx: a
-// cancelled caller is not held hostage by the injected latency.
+// cancelled caller is not held hostage by the injected latency. With an
+// Injector attached the delay applies only while injection is enabled,
+// so a chaos test can blackhole a provider mid-workload (MaxDelay far
+// above every deadline) and later let it recover with one SetEnabled.
 type SlowConn struct {
 	Inner    client.Conn
 	R        *Rand
 	MaxDelay time.Duration
+	Inj      *Injector // nil = always slow
 }
 
 func (s *SlowConn) sleep(ctx context.Context) error {
-	if s.MaxDelay <= 0 {
+	if s.MaxDelay <= 0 || (s.Inj != nil && !s.Inj.Enabled()) {
 		return ctx.Err()
 	}
 	d := time.Duration(s.R.Int63n(int64(s.MaxDelay)))
@@ -338,6 +353,159 @@ func (p *PartitionedStore) Purge(id chunk.ID) (int64, error) {
 	return p.LifecycleStore.Purge(id)
 }
 
+// CrashStore wraps a provider.LifecycleStore behind a crash flag: a
+// crashed provider fails every operation (the process is gone), and a
+// later Restart brings it back either with its disk state intact or
+// wiped empty — the two real recovery shapes (reboot vs replacement
+// node). Recovery paths (directory re-resolution, breaker probing,
+// selfopt re-replication) can then be tested deterministically.
+type CrashStore struct {
+	// Fresh mints the replacement store for Restart(wipe=true). Leaving
+	// it nil restricts Restart to the come-back-with-disk shape.
+	Fresh func() provider.LifecycleStore
+
+	mu      sync.Mutex
+	inner   provider.LifecycleStore
+	crashed bool
+}
+
+// NewCrashStore wraps inner; fresh (nil ok) supplies wiped replacements.
+func NewCrashStore(inner provider.LifecycleStore, fresh func() provider.LifecycleStore) *CrashStore {
+	return &CrashStore{inner: inner, Fresh: fresh}
+}
+
+// Crash takes the provider down: every call fails until Restart.
+func (c *CrashStore) Crash() {
+	c.mu.Lock()
+	c.crashed = true
+	c.mu.Unlock()
+}
+
+// Restart brings the provider back — wiped empty (wipe=true, a
+// replacement node) or with the state it crashed with (a reboot).
+func (c *CrashStore) Restart(wipe bool) {
+	c.mu.Lock()
+	if wipe && c.Fresh != nil {
+		c.inner = c.Fresh()
+	}
+	c.crashed = false
+	c.mu.Unlock()
+}
+
+// Crashed reports whether the provider is currently down.
+func (c *CrashStore) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// store returns the live inner store, or nil while crashed.
+func (c *CrashStore) store() provider.LifecycleStore {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil
+	}
+	return c.inner
+}
+
+// Put fails while crashed.
+func (c *CrashStore) Put(id chunk.ID, data []byte) error {
+	st := c.store()
+	if st == nil {
+		return ErrCrashed
+	}
+	return st.Put(id, data)
+}
+
+// Get fails while crashed.
+func (c *CrashStore) Get(id chunk.ID) ([]byte, error) {
+	st := c.store()
+	if st == nil {
+		return nil, ErrCrashed
+	}
+	return st.Get(id)
+}
+
+// Delete fails while crashed.
+func (c *CrashStore) Delete(id chunk.ID) error {
+	st := c.store()
+	if st == nil {
+		return ErrCrashed
+	}
+	return st.Delete(id)
+}
+
+// Has reports false while crashed (the signature carries no error).
+func (c *CrashStore) Has(id chunk.ID) bool {
+	st := c.store()
+	return st != nil && st.Has(id)
+}
+
+// Keys returns nil while crashed.
+func (c *CrashStore) Keys() []chunk.ID {
+	st := c.store()
+	if st == nil {
+		return nil
+	}
+	return st.Keys()
+}
+
+// Used reports 0 while crashed.
+func (c *CrashStore) Used() int64 {
+	st := c.store()
+	if st == nil {
+		return 0
+	}
+	return st.Used()
+}
+
+// Count reports 0 while crashed.
+func (c *CrashStore) Count() int {
+	st := c.store()
+	if st == nil {
+		return 0
+	}
+	return st.Count()
+}
+
+// List returns an empty final page while crashed (the signature carries
+// no error; the GC treats an empty inventory fail-safe).
+func (c *CrashStore) List(after chunk.ID, limit int) ([]provider.ChunkInfo, bool) {
+	st := c.store()
+	if st == nil {
+		return nil, false
+	}
+	return st.List(after, limit)
+}
+
+// Purge fails while crashed.
+func (c *CrashStore) Purge(id chunk.ID) (int64, error) {
+	st := c.store()
+	if st == nil {
+		return 0, ErrCrashed
+	}
+	return st.Purge(id)
+}
+
+// Epoch reports 0 while crashed.
+func (c *CrashStore) Epoch() uint64 {
+	st := c.store()
+	if st == nil {
+		return 0
+	}
+	return st.Epoch()
+}
+
+// AdvanceEpoch is a no-op reporting 0 while crashed.
+func (c *CrashStore) AdvanceEpoch() uint64 {
+	st := c.store()
+	if st == nil {
+		return 0
+	}
+	return st.AdvanceEpoch()
+}
+
 // Interface checks: the Conn wrappers must carry the lease extension,
 // the Store wrappers must stay sweepable.
 var (
@@ -350,4 +518,5 @@ var (
 	_ provider.LifecycleStore = (*FlakyStore)(nil)
 	_ provider.LifecycleStore = (*SlowStore)(nil)
 	_ provider.LifecycleStore = (*PartitionedStore)(nil)
+	_ provider.LifecycleStore = (*CrashStore)(nil)
 )
